@@ -1,0 +1,206 @@
+package dise
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// One testing.B benchmark per paper table/figure. Each regenerates its
+// artifact at reduced scale and reports the headline metric(s) via
+// b.ReportMetric, so `go test -bench=.` doubles as a miniature
+// reproduction run. cmd/disebench produces the full-scale versions.
+
+func benchCfg() harness.Config {
+	return harness.Config{Budget: 60_000}
+}
+
+// reportCell publishes one table cell as a benchmark metric.
+func reportCell(b *testing.B, tb *harness.Table, rowKeys []string, col, metric string) {
+	b.Helper()
+	ci := -1
+	for i, c := range tb.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		b.Fatalf("no column %q", col)
+	}
+	for _, row := range tb.Rows {
+		match := true
+		for j, k := range rowKeys {
+			if row[j] != k {
+				match = false
+			}
+		}
+		if match {
+			var v float64
+			fmt.Sscanf(row[ci], "%g", &v)
+			b.ReportMetric(v, metric)
+			return
+		}
+	}
+	b.Fatalf("no row %v", rowKeys)
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := harness.Table1(benchCfg())
+		if i == b.N-1 {
+			reportCell(b, tb, []string{"mcf"}, "IPC", "mcf-ipc")
+			reportCell(b, tb, []string{"bzip2"}, "IPC", "bzip2-ipc")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := harness.Table2(harness.Config{Budget: 60_000, Benchmarks: []string{"crafty"}})
+		if i == b.N-1 {
+			reportCell(b, tb, []string{"crafty"}, "HOT", "crafty-hot-per100K")
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	cfg := harness.Config{Budget: 60_000, Benchmarks: []string{"twolf"}}
+	for i := 0; i < b.N; i++ {
+		tb := harness.Fig3(cfg)
+		if i == b.N-1 {
+			reportCell(b, tb, []string{"twolf", "COLD"}, "DISE", "dise-cold-overhead")
+			reportCell(b, tb, []string{"twolf", "COLD"}, "single-step", "ss-cold-overhead")
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	cfg := harness.Config{Budget: 60_000, Benchmarks: []string{"twolf"}}
+	for i := 0; i < b.N; i++ {
+		tb := harness.Fig4(cfg)
+		if i == b.N-1 {
+			reportCell(b, tb, []string{"twolf", "HOT"}, "DISE", "dise-cond-hot-overhead")
+			reportCell(b, tb, []string{"twolf", "HOT"}, "hardware", "hw-cond-hot-overhead")
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	cfg := harness.Config{Budget: 60_000, Benchmarks: []string{"gcc"}}
+	for i := 0; i < b.N; i++ {
+		tb := harness.Fig5(cfg)
+		if i == b.N-1 {
+			reportCell(b, tb, []string{"gcc"}, "DISE", "dise-overhead")
+			reportCell(b, tb, []string{"gcc"}, "binary-rewriting", "rewrite-overhead")
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	cfg := harness.Config{Budget: 60_000, Benchmarks: []string{"crafty"}}
+	for i := 0; i < b.N; i++ {
+		tb := harness.Fig6(cfg)
+		if i == b.N-1 {
+			reportCell(b, tb, []string{"crafty", "16"}, "byte-bloom (DISE)", "bloom16-overhead")
+			reportCell(b, tb, []string{"crafty", "16"}, "hw/virtual-mem", "hwvm16-overhead")
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	cfg := harness.Config{Budget: 60_000, Benchmarks: []string{"bzip2"}}
+	for i := 0; i < b.N; i++ {
+		tb := harness.Fig7(cfg)
+		if i == b.N-1 {
+			reportCell(b, tb, []string{"bzip2", "HOT"}, "match/eval+cc", "match-eval-cc")
+			reportCell(b, tb, []string{"bzip2", "HOT"}, "eval/-+ct", "eval-inline-ct")
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	cfg := harness.Config{Budget: 60_000, Benchmarks: []string{"vortex"}}
+	for i := 0; i < b.N; i++ {
+		tb := harness.Fig8(cfg)
+		if i == b.N-1 {
+			reportCell(b, tb, []string{"vortex", "HOT"}, "without MT", "hot-no-mt")
+			reportCell(b, tb, []string{"vortex", "HOT"}, "with MT", "hot-mt")
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	cfg := harness.Config{Budget: 60_000, Benchmarks: []string{"mcf"}}
+	for i := 0; i < b.N; i++ {
+		tb := harness.Fig9(cfg)
+		if i == b.N-1 {
+			reportCell(b, tb, []string{"mcf"}, "protected", "protected-overhead")
+		}
+	}
+}
+
+// BenchmarkAblationPatternGating measures the §4.2 pattern-specificity
+// optimization: a second, more specific production passes stack-pointer
+// stores through unexpanded.
+func BenchmarkAblationPatternGating(b *testing.B) {
+	prog, err := Assemble(`
+.data
+v: .quad 0
+.text
+main:
+    la  r1, v
+    li  r10, 2000
+loop:
+    stq r10, -8(sp)   ; stack traffic
+    stq r10, -16(sp)
+    stq r10, 0(r1)    ; heap store (watched variable's page)
+    subq r10, #1, r10
+    bne r10, loop
+    halt
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(gate bool) uint64 {
+		opts := DefaultOptions(BackendDise)
+		opts.StackGating = gate
+		s, err := NewSessionWith(prog, opts, DefaultMachineConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.WatchScalar("v", prog.MustSymbol("v"), 8); err != nil {
+			b.Fatal(err)
+		}
+		st, err := s.Run(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st.Cycles
+	}
+	for i := 0; i < b.N; i++ {
+		plain := run(false)
+		gated := run(true)
+		if i == b.N-1 {
+			b.ReportMetric(float64(plain)/float64(gated), "gating-speedup")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (simulated
+// instructions per wall-clock second) on the gcc kernel.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec, _ := workload.ByName("gcc")
+	w := workload.MustBuild(spec, 1<<20)
+	b.ResetTimer()
+	total := uint64(0)
+	for i := 0; i < b.N; i++ {
+		m := machine.NewDefault()
+		m.Load(w.Program)
+		st := m.MustRun(500_000)
+		total += st.AppInsts
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds()/1e6, "Minsts/s")
+}

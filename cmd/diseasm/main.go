@@ -1,0 +1,59 @@
+// Command diseasm assembles and disassembles programs for the simulated
+// ISA.
+//
+// Usage:
+//
+//	diseasm prog.s            # assemble and print a listing
+//	diseasm -hex prog.s       # assemble and dump text words as hex
+//	diseasm -run prog.s       # assemble, simulate, and print statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/machine"
+)
+
+func main() {
+	hex := flag.Bool("hex", false, "dump encoded text words")
+	run := flag.Bool("run", false, "simulate the program and print statistics")
+	maxInsts := flag.Uint64("max", 100_000_000, "instruction budget for -run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: diseasm [-hex] [-run] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diseasm:", err)
+		os.Exit(1)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diseasm:", err)
+		os.Exit(1)
+	}
+	switch {
+	case *hex:
+		for i, w := range p.Text {
+			fmt.Printf("%08x: %08x\n", p.TextBase+uint64(i)*4, w)
+		}
+	case *run:
+		m := machine.NewDefault()
+		m.Load(p)
+		st, err := m.Run(*maxInsts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diseasm:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("instructions: %d\ncycles:       %d\nIPC:          %.2f\n",
+			st.AppInsts, st.Cycles, st.IPC())
+		fmt.Printf("loads:        %d\nstores:       %d\nmispredicts:  %d\nhalted:       %v\n",
+			st.Loads, st.Stores, st.BranchMispredicts, st.Halted)
+	default:
+		fmt.Print(p.Disassemble())
+	}
+}

@@ -1,0 +1,50 @@
+// Command disebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	disebench -exp fig3                 # one experiment
+//	disebench -exp all                  # the whole evaluation
+//	disebench -exp fig6 -bench crafty   # restrict benchmarks
+//	disebench -budget 2000000           # more instructions per run
+//
+// Output is a text table per experiment: normalized execution times
+// (relative to the undebugged baseline) in the same row/series structure
+// as the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1, table2, fig3..fig9, or all)")
+	budget := flag.Uint64("budget", 600_000, "approximate application instructions per run")
+	bench := flag.String("bench", "", "comma-separated benchmark subset (default all)")
+	flag.Parse()
+
+	cfg := harness.Config{Budget: *budget}
+	if *bench != "" {
+		cfg.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := harness.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "disebench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

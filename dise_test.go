@@ -1,0 +1,163 @@
+package dise
+
+import (
+	"strings"
+	"testing"
+)
+
+const testProg = `
+.data
+.align 8
+v: .quad 0
+.text
+.entry main
+main:
+    la  r1, v
+    li  r2, 10
+loop:
+.stmt
+    stq r2, 0(r1)
+    subq r2, #1, r2
+    bne r2, loop
+    halt
+`
+
+func TestSessionEndToEnd(t *testing.T) {
+	prog, err := Assemble(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(prog, BackendDise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WatchScalar("v", prog.MustSymbol("v"), 8); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Halted() {
+		t.Fatal("did not halt")
+	}
+	// v takes values 10..1: every store changes it.
+	if got := s.Transitions().User; got != 10 {
+		t.Errorf("user transitions = %d, want 10", got)
+	}
+	if len(s.Events()) != 10 {
+		t.Errorf("events = %d", len(s.Events()))
+	}
+	if s.Events()[9].Value != 1 {
+		t.Errorf("last value = %d, want 1", s.Events()[9].Value)
+	}
+	if st.AppInsts == 0 {
+		t.Error("no instructions counted")
+	}
+}
+
+func TestSessionStopAndContinue(t *testing.T) {
+	prog, err := Assemble(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(prog, BackendDise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WatchCond(
+		&Watchpoint{Name: "v", Kind: WatchScalar, Addr: prog.MustSymbol("v"), Size: 8},
+		&Condition{Op: CondEq, Value: 5},
+	); err != nil {
+		t.Fatal(err)
+	}
+	s.StopOnUser = true
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Halted() {
+		t.Fatal("should have paused at v == 5")
+	}
+	if got := s.M.ReadQuad(prog.MustSymbol("v")); got != 5 {
+		t.Errorf("paused with v = %d, want 5", got)
+	}
+	if _, err := s.Continue(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Halted() {
+		t.Error("should have finished after continue")
+	}
+}
+
+func TestSessionBreakpoint(t *testing.T) {
+	prog, err := Assemble(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(prog, BackendDise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Break(prog.MustSymbol("loop")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Transitions().User; got != 10 {
+		t.Errorf("breakpoint hits = %d, want 10", got)
+	}
+}
+
+func TestBenchmarkFacade(t *testing.T) {
+	specs := Benchmarks()
+	if len(specs) != 6 {
+		t.Fatalf("benchmarks = %d", len(specs))
+	}
+	b, err := BuildBenchmark("mcf", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.WP.Hot == 0 || b.WP.Range == 0 {
+		t.Error("watchpoint addresses missing")
+	}
+	if _, err := BuildBenchmark("nope", 50); err == nil {
+		t.Error("want error for unknown benchmark")
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 9 {
+		t.Fatalf("experiments = %v", ids)
+	}
+	tb, err := RunExperiment("table1", ExperimentConfig{Budget: 60_000, Benchmarks: []string{"bzip2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "bzip2") {
+		t.Error("table missing bzip2")
+	}
+}
+
+func TestAllBackendsThroughSession(t *testing.T) {
+	for _, b := range []Backend{BackendSingleStep, BackendVirtualMemory, BackendHardwareReg, BackendDise, BackendBinaryRewrite} {
+		prog, err := Assemble(testProg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSession(prog, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WatchScalar("v", prog.MustSymbol("v"), 8); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(0); err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		if got := s.Transitions().User; got != 10 {
+			t.Errorf("%v: user transitions = %d, want 10", b, got)
+		}
+	}
+}

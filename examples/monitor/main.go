@@ -1,0 +1,71 @@
+// Monitor: the paper's generality claim (§1, §6) in action. DISE is not a
+// debugging widget: the same productions implement programmatic monitoring
+// interfaces like iWatcher. Here a program registers an in-application
+// callback on a guard region around an array; an off-by-one initialization
+// loop trips it, and the callback records the wild write — all without a
+// single process switch or debugger attach.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dise "repro"
+)
+
+const src = `
+.data
+.align 8
+array: .quad 0,0,0,0,0,0,0,0
+guard: .quad 0              ; canary just past the array
+log_n:   .quad 0            ; callback: how many guard writes
+log_addr: .quad 0           ; callback: last wild address
+.text
+.entry main
+main:
+    la   r1, array
+    li   r2, 9              ; BUG: should be 8
+init:
+    stq  r2, 0(r1)
+    lda  r1, 8(r1)
+    subq r2, #1, r2
+    bne  r2, init
+    halt
+
+; callback: entered with the wild store's address in r16
+on_guard:
+    la   r20, log_n
+    ldq  r21, 0(r20)
+    addq r21, #1, r21
+    stq  r21, 0(r20)
+    la   r20, log_addr
+    stq  r16, 0(r20)
+    ret  (ra)
+`
+
+func main() {
+	prog, err := dise.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := dise.NewMachine()
+	m.Load(prog)
+
+	mon := dise.NewMonitor(m)
+	if err := mon.WatchRange(prog.MustSymbol("guard"), 8, prog.MustSymbol("on_guard")); err != nil {
+		log.Fatal(err)
+	}
+	if err := mon.Install(); err != nil {
+		log.Fatal(err)
+	}
+	st := m.MustRun(0)
+
+	n := m.ReadQuad(prog.MustSymbol("log_n"))
+	addr := m.ReadQuad(prog.MustSymbol("log_addr"))
+	fmt.Printf("guard writes caught by in-application callback: %d\n", n)
+	fmt.Printf("wild store address: %#x (guard is at %#x)\n", addr, prog.MustSymbol("guard"))
+	fmt.Printf("run cost: %d cycles for %d instructions — no context switches\n", st.Cycles, st.AppInsts)
+	if n == 1 && addr == prog.MustSymbol("guard") {
+		fmt.Println("off-by-one found: the init loop runs 9 times over an 8-element array")
+	}
+}

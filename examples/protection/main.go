@@ -1,0 +1,80 @@
+// Protection: DISE watching embeds debugger data (previous values, Bloom
+// filters) into the debugged application's address space, where a buggy
+// application could corrupt it. The same productions that match store
+// addresses against watched addresses can also match them against the
+// debugger's own data region and call an error handler (§4, Figure 2f).
+// This example runs a program with a wild store aimed at the debugger's
+// region, once unprotected and once protected, and shows the catch and
+// its cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dise "repro"
+)
+
+// The program scans a pointer forward from its data segment, writing as it
+// goes — a model of a runaway initialization loop. Eventually the pointer
+// crosses into the page where the debugger parked its data.
+const src = `
+.data
+.align 8
+v:    .quad 0
+seed: .quad 0
+.text
+.entry main
+main:
+    la   r1, seed
+    li   r2, 600         ; pages to scribble over
+    li   r3, 1
+scribble:
+    stq  r3, 0(r1)       ; wild store
+    lda  r1, 4096(r1)    ; advance one page
+    subq r2, #1, r2
+    bne  r2, scribble
+    ; normal work afterwards: update v
+    la   r4, v
+    li   r5, 7
+    stq  r5, 0(r4)
+    halt
+`
+
+func run(protect bool) {
+	prog, err := dise.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := dise.DefaultOptions(dise.BackendDise)
+	opts.Protect = protect
+	s, err := dise.NewSessionWith(prog, opts, dise.DefaultMachineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.WatchScalar("v", prog.MustSymbol("v"), 8); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.Run(0); err != nil {
+		log.Fatal(err)
+	}
+	st := s.M.Core.Stats()
+	tr := s.Transitions()
+	mode := "unprotected"
+	if protect {
+		mode = "protected  "
+	}
+	fmt.Printf("%s  cycles=%-9d watch-hits=%d violations-caught=%d\n",
+		mode, st.Cycles, tr.User, tr.ProtViolations)
+}
+
+func main() {
+	fmt.Println("a runaway loop scribbles over 600 pages, including the debugger's data region")
+	fmt.Println()
+	run(false)
+	run(true)
+	fmt.Println()
+	fmt.Println("with protection on, the store into the debugger's region is caught in")
+	fmt.Println("flight by the same production that implements the watchpoint; the cost")
+	fmt.Println("is a few extra ALU operations per store (Figure 9).")
+}

@@ -1,0 +1,193 @@
+// Package bpred models the front-end branch prediction hardware from the
+// paper's §5 configuration: an 8K-entry hybrid predictor (bimodal and
+// gshare components with a chooser), a 2K-entry BTB, and a return-address
+// stack.
+package bpred
+
+// Config sizes the predictor structures. All counts must be powers of two.
+type Config struct {
+	PredEntries int // entries in each of bimodal, gshare, and chooser
+	HistoryBits int // gshare global-history length
+	BTBEntries  int
+	BTBAssoc    int
+	RASEntries  int
+}
+
+// DefaultConfig matches the paper: 8K-entry hybrid predictor, 2K-entry BTB.
+func DefaultConfig() Config {
+	return Config{
+		PredEntries: 8192,
+		HistoryBits: 12,
+		BTBEntries:  2048,
+		BTBAssoc:    4,
+		RASEntries:  32,
+	}
+}
+
+// Stats counts prediction outcomes.
+type Stats struct {
+	CondBranches   uint64
+	CondMispredict uint64
+	TargetLookups  uint64
+	TargetMisses   uint64
+}
+
+type btbEntry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+	lru    uint64
+}
+
+// Predictor is the complete front-end prediction unit. Not safe for
+// concurrent use.
+type Predictor struct {
+	cfg Config
+
+	bimodal []uint8 // 2-bit counters
+	gshare  []uint8
+	chooser []uint8 // 2-bit: >=2 means "use gshare"
+	history uint64
+
+	btb      [][]btbEntry
+	btbClock uint64
+
+	ras    []uint64
+	rasTop int
+
+	stats Stats
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	if cfg.PredEntries&(cfg.PredEntries-1) != 0 || cfg.BTBEntries&(cfg.BTBEntries-1) != 0 {
+		panic("bpred: table sizes must be powers of two")
+	}
+	weak := func(n int) []uint8 {
+		t := make([]uint8, n)
+		for i := range t {
+			t[i] = 1 // weakly not-taken
+		}
+		return t
+	}
+	nSets := cfg.BTBEntries / cfg.BTBAssoc
+	btb := make([][]btbEntry, nSets)
+	backing := make([]btbEntry, cfg.BTBEntries)
+	for i := range btb {
+		btb[i] = backing[i*cfg.BTBAssoc : (i+1)*cfg.BTBAssoc]
+	}
+	return &Predictor{
+		cfg:     cfg,
+		bimodal: weak(cfg.PredEntries),
+		gshare:  weak(cfg.PredEntries),
+		chooser: weak(cfg.PredEntries),
+		btb:     btb,
+		ras:     make([]uint64, cfg.RASEntries),
+	}
+}
+
+// Stats returns prediction statistics.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+func (p *Predictor) index(pc uint64) int {
+	return int((pc >> 2) & uint64(p.cfg.PredEntries-1))
+}
+
+func (p *Predictor) gshareIndex(pc uint64) int {
+	mask := uint64(p.cfg.PredEntries - 1)
+	hist := p.history & ((1 << uint(p.cfg.HistoryBits)) - 1)
+	return int(((pc >> 2) ^ hist) & mask)
+}
+
+// PredictCond predicts the direction of a conditional branch at pc.
+func (p *Predictor) PredictCond(pc uint64) bool {
+	i := p.index(pc)
+	g := p.gshareIndex(pc)
+	if p.chooser[i] >= 2 {
+		return p.gshare[g] >= 2
+	}
+	return p.bimodal[i] >= 2
+}
+
+// UpdateCond trains the predictor with the actual outcome of a conditional
+// branch and records misprediction statistics.
+func (p *Predictor) UpdateCond(pc uint64, taken bool) (mispredicted bool) {
+	i := p.index(pc)
+	g := p.gshareIndex(pc)
+	bPred := p.bimodal[i] >= 2
+	gPred := p.gshare[g] >= 2
+	pred := bPred
+	if p.chooser[i] >= 2 {
+		pred = gPred
+	}
+	p.stats.CondBranches++
+	if pred != taken {
+		p.stats.CondMispredict++
+	}
+	bump := func(c *uint8, up bool) {
+		if up && *c < 3 {
+			*c++
+		} else if !up && *c > 0 {
+			*c--
+		}
+	}
+	bump(&p.bimodal[i], taken)
+	bump(&p.gshare[g], taken)
+	if bPred != gPred {
+		bump(&p.chooser[i], gPred == taken)
+	}
+	p.history = p.history<<1 | map[bool]uint64{true: 1, false: 0}[taken]
+	return pred != taken
+}
+
+// PredictTarget looks up the BTB for an indirect-jump target prediction.
+func (p *Predictor) PredictTarget(pc uint64) (target uint64, ok bool) {
+	p.stats.TargetLookups++
+	set := p.btb[(pc>>2)&uint64(len(p.btb)-1)]
+	tag := (pc >> 2) / uint64(len(p.btb))
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			p.btbClock++
+			set[i].lru = p.btbClock
+			return set[i].target, true
+		}
+	}
+	p.stats.TargetMisses++
+	return 0, false
+}
+
+// UpdateTarget installs or refreshes a BTB entry.
+func (p *Predictor) UpdateTarget(pc, target uint64) {
+	set := p.btb[(pc>>2)&uint64(len(p.btb)-1)]
+	tag := (pc >> 2) / uint64(len(p.btb))
+	p.btbClock++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].target = target
+			set[i].lru = p.btbClock
+			return
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = btbEntry{tag: tag, target: target, valid: true, lru: p.btbClock}
+}
+
+// PushRAS records a call's return address.
+func (p *Predictor) PushRAS(retAddr uint64) {
+	p.ras[p.rasTop%len(p.ras)] = retAddr
+	p.rasTop++
+}
+
+// PopRAS predicts a return target.
+func (p *Predictor) PopRAS() (uint64, bool) {
+	if p.rasTop == 0 {
+		return 0, false
+	}
+	p.rasTop--
+	return p.ras[p.rasTop%len(p.ras)], true
+}

@@ -1,0 +1,114 @@
+package bpred
+
+import "testing"
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x1000)
+	for i := 0; i < 8; i++ {
+		p.UpdateCond(pc, true)
+	}
+	if !p.PredictCond(pc) {
+		t.Error("should predict taken after training")
+	}
+	s := p.Stats()
+	if s.CondBranches != 8 {
+		t.Errorf("branches = %d", s.CondBranches)
+	}
+	if s.CondMispredict == 0 || s.CondMispredict > 3 {
+		t.Errorf("mispredicts = %d, want a small warm-up count", s.CondMispredict)
+	}
+}
+
+func TestLearnsAlternatingViaGshare(t *testing.T) {
+	// A strictly alternating branch is hard for bimodal but trivially
+	// captured by gshare once the chooser learns to prefer it.
+	p := New(DefaultConfig())
+	pc := uint64(0x2000)
+	taken := false
+	mispredLate := 0
+	for i := 0; i < 400; i++ {
+		taken = !taken
+		if p.UpdateCond(pc, taken) && i > 200 {
+			mispredLate++
+		}
+	}
+	if mispredLate > 10 {
+		t.Errorf("gshare failed to capture alternation: %d late mispredicts", mispredLate)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	p := New(DefaultConfig())
+	if _, ok := p.PredictTarget(0x4000); ok {
+		t.Error("cold BTB should miss")
+	}
+	p.UpdateTarget(0x4000, 0x8888)
+	if tgt, ok := p.PredictTarget(0x4000); !ok || tgt != 0x8888 {
+		t.Errorf("BTB = %#x, %v", tgt, ok)
+	}
+	// Update in place.
+	p.UpdateTarget(0x4000, 0x9999)
+	if tgt, _ := p.PredictTarget(0x4000); tgt != 0x9999 {
+		t.Errorf("BTB update = %#x", tgt)
+	}
+}
+
+func TestBTBReplacement(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BTBEntries = 8
+	cfg.BTBAssoc = 2 // 4 sets
+	p := New(cfg)
+	// Three PCs in the same set (stride = sets*4 = 16 bytes).
+	a, b, c := uint64(0x1000), uint64(0x1010), uint64(0x1020)
+	p.UpdateTarget(a, 1)
+	p.UpdateTarget(b, 2)
+	p.PredictTarget(a) // refresh a
+	p.UpdateTarget(c, 3)
+	if _, ok := p.PredictTarget(b); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if tgt, ok := p.PredictTarget(a); !ok || tgt != 1 {
+		t.Error("a should survive")
+	}
+}
+
+func TestRAS(t *testing.T) {
+	p := New(DefaultConfig())
+	if _, ok := p.PopRAS(); ok {
+		t.Error("empty RAS should miss")
+	}
+	p.PushRAS(0x100)
+	p.PushRAS(0x200)
+	if v, ok := p.PopRAS(); !ok || v != 0x200 {
+		t.Errorf("pop = %#x, %v", v, ok)
+	}
+	if v, ok := p.PopRAS(); !ok || v != 0x100 {
+		t.Errorf("pop = %#x, %v", v, ok)
+	}
+}
+
+func TestRASWraps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASEntries = 4
+	p := New(cfg)
+	for i := 1; i <= 6; i++ {
+		p.PushRAS(uint64(i * 0x10))
+	}
+	// Deepest two entries were overwritten; top of stack is still correct.
+	if v, _ := p.PopRAS(); v != 0x60 {
+		t.Errorf("pop = %#x, want 0x60", v)
+	}
+	if v, _ := p.PopRAS(); v != 0x50 {
+		t.Errorf("pop = %#x, want 0x50", v)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on non-power-of-two table")
+		}
+	}()
+	New(Config{PredEntries: 1000, BTBEntries: 2048, BTBAssoc: 4, RASEntries: 8, HistoryBits: 8})
+}

@@ -1,0 +1,188 @@
+// Package cache models the on-chip memory system timing: set-associative
+// write-back caches with LRU replacement, TLBs, a shared L2, a memory bus
+// with occupancy, and a fixed main-memory latency. It matches the
+// configuration in the paper's §5: 32KB 2-way L1 instruction and data
+// caches, 64-entry 4-way TLBs, a 1MB 4-way L2, 100-cycle memory, and a
+// 32-byte bus running at 1/4 the processor frequency.
+//
+// The caches are timing-only: data lives in internal/mem; these structures
+// track tags and report latencies.
+package cache
+
+// Config describes one cache.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	LineBytes  int
+	Assoc      int
+	HitLatency int // cycles
+}
+
+// Stats counts accesses for one cache.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
+// Cache is a set-associative, write-back, write-allocate cache.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setShift uint
+	setMask  uint64
+	lruClock uint64
+	stats    Stats
+}
+
+// New builds a cache from cfg. Sizes must be powers of two.
+func New(cfg Config) *Cache {
+	nLines := cfg.SizeBytes / cfg.LineBytes
+	nSets := nLines / cfg.Assoc
+	if nSets <= 0 || nSets&(nSets-1) != 0 {
+		panic("cache: set count must be a positive power of two")
+	}
+	sets := make([][]line, nSets)
+	backing := make([]line, nLines)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setShift: shift,
+		setMask:  uint64(nSets - 1),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns access statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears statistics, leaving contents warm.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// LineBase returns the line-aligned base of addr.
+func (c *Cache) LineBase(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.LineBytes) - 1)
+}
+
+// AccessResult describes the outcome of a cache probe.
+type AccessResult struct {
+	Hit          bool
+	WritebackReq bool   // an evicted dirty line must go to the next level
+	VictimAddr   uint64 // line address of the dirty victim if WritebackReq
+}
+
+// Access probes the cache for addr, allocating on miss and applying LRU
+// update. write marks the line dirty. The caller stitches latencies
+// together (see Hierarchy).
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	c.stats.Accesses++
+	c.lruClock++
+	set := c.sets[(addr>>c.setShift)&c.setMask]
+	tag := (addr >> c.setShift) / (c.setMask + 1)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.lruClock
+			if write {
+				set[i].dirty = true
+			}
+			return AccessResult{Hit: true}
+		}
+	}
+	// Miss: pick victim (invalid first, else least recently used).
+	c.stats.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	res := AccessResult{}
+	if set[victim].valid && set[victim].dirty {
+		res.WritebackReq = true
+		res.VictimAddr = c.victimAddr(addr, set[victim].tag)
+		c.stats.Writebacks++
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.lruClock}
+	return res
+}
+
+// Probe reports whether addr hits without updating state (used in tests).
+func (c *Cache) Probe(addr uint64) bool {
+	set := c.sets[(addr>>c.setShift)&c.setMask]
+	tag := (addr >> c.setShift) / (c.setMask + 1)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) victimAddr(probeAddr, victimTag uint64) uint64 {
+	setIdx := (probeAddr >> c.setShift) & c.setMask
+	return (victimTag*(c.setMask+1) | setIdx) << c.setShift
+}
+
+// Flush invalidates all lines (contents, not stats).
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+}
+
+// TLB is a set-associative translation lookaside buffer over page numbers.
+type TLB struct {
+	inner *Cache
+}
+
+// NewTLB builds a TLB with the given entry count and associativity.
+func NewTLB(entries, assoc, pageBytes int) *TLB {
+	// Reuse the cache structure: one "line" per page.
+	return &TLB{inner: New(Config{
+		Name:      "tlb",
+		SizeBytes: entries * pageBytes,
+		LineBytes: pageBytes,
+		Assoc:     assoc,
+	})}
+}
+
+// Lookup probes the TLB for the page containing addr; a miss fills it.
+func (t *TLB) Lookup(addr uint64) bool {
+	return t.inner.Access(addr, false).Hit
+}
+
+// Stats returns TLB statistics.
+func (t *TLB) Stats() Stats { return t.inner.Stats() }
+
+// Flush invalidates all translations.
+func (t *TLB) Flush() { t.inner.Flush() }

@@ -1,0 +1,182 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallCache() *Cache {
+	// 4 sets x 2 ways x 64B lines = 512B.
+	return New(Config{Name: "t", SizeBytes: 512, LineBytes: 64, Assoc: 2, HitLatency: 1})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := smallCache()
+	if c.Access(0x1000, false).Hit {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0x1000, false).Hit {
+		t.Error("second access should hit")
+	}
+	if !c.Access(0x103F, false).Hit {
+		t.Error("same line should hit")
+	}
+	if c.Access(0x1040, false).Hit {
+		t.Error("next line should miss")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Misses != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := smallCache() // 2 ways per set
+	// Three distinct lines mapping to set 0 (set index bits are addr[7:6],
+	// 4 sets): stride 256 keeps the set fixed.
+	a, b, d := uint64(0x0000), uint64(0x0100), uint64(0x0200)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is now MRU
+	c.Access(d, false) // evicts b (LRU)
+	if !c.Probe(a) {
+		t.Error("a should survive")
+	}
+	if c.Probe(b) {
+		t.Error("b should be evicted")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be present")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := smallCache()
+	c.Access(0x0000, true) // dirty
+	c.Access(0x0100, false)
+	res := c.Access(0x0200, false) // evicts 0x0000
+	if !res.WritebackReq {
+		t.Fatal("expected writeback of dirty victim")
+	}
+	if res.VictimAddr != 0x0000 {
+		t.Errorf("victim addr = %#x, want 0", res.VictimAddr)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestVictimAddrReconstruction(t *testing.T) {
+	// Property: after a dirty line at addr X is evicted, the reported
+	// victim address has the same set index and reconstructs X's line base.
+	f := func(raw uint64) bool {
+		c := smallCache()
+		x := (raw % (1 << 30)) &^ 63
+		c.Access(x, true)
+		// Evict by filling the set with two more lines at +256 strides.
+		c.Access(x+256, false)
+		res := c.Access(x+512, false)
+		if !res.WritebackReq {
+			return false
+		}
+		return res.VictimAddr == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := smallCache()
+	c.Access(0x1000, false)
+	c.Flush()
+	if c.Probe(0x1000) {
+		t.Error("flush should invalidate")
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tlb := NewTLB(4, 2, 4096)
+	if tlb.Lookup(0x1000) {
+		t.Error("cold TLB should miss")
+	}
+	if !tlb.Lookup(0x1FFF) {
+		t.Error("same page should hit")
+	}
+	if tlb.Lookup(0x2000) {
+		t.Error("different page should miss")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	cfg := h.Config()
+
+	// Cold fetch: TLB miss + L1I + L2 + memory + bus transfer.
+	lat := h.FetchLatency(0x1000, 0)
+	min := uint64(cfg.TLBMissPenalty + cfg.L1I.HitLatency + cfg.L2.HitLatency + cfg.MemLatency)
+	if lat < min {
+		t.Errorf("cold fetch latency = %d, want >= %d", lat, min)
+	}
+	// Warm fetch: L1I hit only.
+	lat = h.FetchLatency(0x1000, 100)
+	if lat != uint64(cfg.L1I.HitLatency) {
+		t.Errorf("warm fetch latency = %d, want %d", lat, cfg.L1I.HitLatency)
+	}
+
+	// Cold load.
+	lat = h.DataLatency(0x80000, false, 0)
+	if lat < uint64(cfg.MemLatency) {
+		t.Errorf("cold load latency = %d", lat)
+	}
+	// Warm load: L1D hit.
+	lat = h.DataLatency(0x80000, false, 200)
+	if lat != uint64(cfg.L1D.HitLatency) {
+		t.Errorf("warm load latency = %d, want %d", lat, cfg.L1D.HitLatency)
+	}
+	// L2 hit: evict from tiny... instead touch a line that lands in L2 via
+	// a previous L1 eviction. Construct three addresses in the same L1 set:
+	// L1D is 32KB 2-way, 64B lines -> 256 sets -> stride 16KB.
+	a, b, d := uint64(0x100000), uint64(0x104000), uint64(0x108000)
+	h.DataLatency(a, false, 300)
+	h.DataLatency(b, false, 600)
+	h.DataLatency(d, false, 900) // evicts a from L1
+	lat = h.DataLatency(a, false, 1200)
+	if lat != uint64(cfg.L1D.HitLatency+cfg.L2.HitLatency) {
+		t.Errorf("L2 hit latency = %d, want %d", lat, cfg.L1D.HitLatency+cfg.L2.HitLatency)
+	}
+}
+
+func TestBusOccupancy(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	// Two back-to-back cold misses at the same cycle contend for the bus:
+	// the second should take longer than the first.
+	lat1 := h.DataLatency(0x200000, false, 0)
+	lat2 := h.DataLatency(0x300000, false, 0)
+	if lat2 <= lat1 {
+		t.Errorf("bus contention not modeled: lat1=%d lat2=%d", lat1, lat2)
+	}
+	if h.BusBusyCycles == 0 {
+		t.Error("bus busy cycles not accumulated")
+	}
+}
+
+func TestHierarchyFlushAll(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	h.DataLatency(0x1000, false, 0)
+	warm := h.DataLatency(0x1000, false, 500)
+	h.FlushAll()
+	cold := h.DataLatency(0x1000, false, 1000)
+	if cold <= warm {
+		t.Errorf("flush had no effect: warm=%d cold=%d", warm, cold)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on non-power-of-two set count")
+		}
+	}()
+	New(Config{SizeBytes: 384, LineBytes: 64, Assoc: 2})
+}

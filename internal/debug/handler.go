@@ -1,0 +1,320 @@
+package debug
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+// buildHandler generates the debugger function that replacement sequences
+// conditionally call (Figure 2e). The function:
+//
+//   - treats all registers as callee-saved: r20/r21 are stashed in DISE
+//     scratch registers (legal: d_mtr/d_mfr are available to DISE-called
+//     functions), r22–r25 go to the save area in the debugger data region
+//     — it never touches the application stack;
+//   - receives the store's effective address in dr1;
+//   - finds the watchpoint whose quad matched (pruning Bloom false
+//     positives), re-evaluates the expression, updates the current-value
+//     slot, checks the predicate, and traps only when the user must be
+//     invoked. Silent stores and failed predicates return without a trap —
+//     the transitions every other implementation pays for (§4.2, §4.3).
+func (d *Debugger) buildHandler(st *diseState) ([]uint32, error) {
+	base := d.m.NextTextAppend()
+	b := asm.NewAt(base, st.dataBase)
+
+	const (
+		rBase = isa.R20 // data-region base
+		rAddr = isa.R21 // quad-aligned store address
+		rA    = isa.R22
+		rB    = isa.R23
+		rC    = isa.R24
+		rD    = isa.R25
+	)
+
+	single := len(d.watchpoints) == 1
+	needAddr := !single || st.bloomSet != nil
+	rangeUsed := false
+	for _, w := range d.watchpoints {
+		if w.Kind == WatchRange {
+			rangeUsed = true
+		}
+	}
+
+	// Prolog: the function treats all registers as callee-saved. r20/r21
+	// are stashed in DISE scratch registers; the rest go to the save area
+	// — only the registers this particular function uses are spilled, the
+	// minimal-save discipline the paper's Figure 2e sketches.
+	b.Emit(isa.Inst{Op: isa.OpDmtr, RA: rBase, RB: drT2, RBSp: isa.DiseSpace})
+	if needAddr || rangeUsed {
+		b.Emit(isa.Inst{Op: isa.OpDmtr, RA: rAddr, RB: drT3, RBSp: isa.DiseSpace})
+	}
+	b.Li32(rBase, int64(st.dataBase))
+	b.Mem(isa.OpStq, rA, saveArea+0, rBase)
+	b.Mem(isa.OpStq, rB, saveArea+8, rBase)
+	b.Mem(isa.OpStq, rC, saveArea+16, rBase)
+	if rangeUsed {
+		b.Mem(isa.OpStq, rD, saveArea+24, rBase)
+	}
+	if needAddr {
+		b.Emit(isa.Inst{Op: isa.OpDmfr, RB: drT1, RBSp: isa.DiseSpace, RC: rAddr})
+		b.OpI(isa.OpBic, rAddr, 7, rAddr)
+	}
+	for i, w := range d.watchpoints {
+		blockEnd := fmt.Sprintf("wp%d_end", i)
+		// Address dispatch: with several candidates (or a Bloom probable
+		// match) the function must check precisely which quad was hit.
+		if needDispatch := needAddr; needDispatch {
+			var quads []uint64
+			for _, r := range d.watchedRanges(w) {
+				for q := r[0] &^ 7; q < r[1]; q += 8 {
+					quads = append(quads, q)
+				}
+			}
+			if w.Kind == WatchRange && len(quads) > 4 {
+				// Bound dispatch code size: range membership via compares.
+				b.Li32(rA, int64(w.Addr&^7))
+				b.Op3(isa.OpCmpule, rA, rAddr, rA)
+				b.Li32(rB, int64(w.Addr+w.Length))
+				b.Op3(isa.OpCmpult, rAddr, rB, rB)
+				b.Op3(isa.OpAnd, rA, rB, rA)
+				b.CondBr(isa.OpBeq, rA, blockEnd)
+			} else {
+				hit := fmt.Sprintf("wp%d_hit", i)
+				for _, q := range quads {
+					b.Li32(rA, int64(q))
+					b.Op3(isa.OpCmpeq, rAddr, rA, rA)
+					b.CondBr(isa.OpBne, rA, hit)
+				}
+				b.Br(blockEnd)
+				b.Label(hit)
+			}
+		}
+		d.emitEval(b, st, w, i)
+		b.Label(blockEnd)
+	}
+
+	// Epilog (fallthrough = no watchpoint matched: Bloom false positive).
+	b.Label("done")
+	b.Mem(isa.OpLdq, rA, saveArea+0, rBase)
+	b.Mem(isa.OpLdq, rB, saveArea+8, rBase)
+	b.Mem(isa.OpLdq, rC, saveArea+16, rBase)
+	if rangeUsed {
+		b.Mem(isa.OpLdq, rD, saveArea+24, rBase)
+	}
+	b.Emit(isa.Inst{Op: isa.OpDmfr, RB: drT2, RBSp: isa.DiseSpace, RC: rBase})
+	if needAddr || rangeUsed {
+		b.Emit(isa.Inst{Op: isa.OpDmfr, RB: drT3, RBSp: isa.DiseSpace, RC: rAddr})
+	}
+	b.Emit(isa.Inst{Op: isa.OpDret})
+
+	p, err := b.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("debug: handler generation: %w", err)
+	}
+	return p.Text, nil
+}
+
+// emitEval emits the expression re-evaluation for one watchpoint:
+// compute the current value, compare with the slot, update, test the
+// predicate, trap.
+func (d *Debugger) emitEval(b *asm.Builder, st *diseState, w *Watchpoint, i int) {
+	const (
+		rBase = isa.R20
+		rAddr = isa.R21
+		rA    = isa.R22
+		rB    = isa.R23
+		rC    = isa.R24
+		rD    = isa.R25
+	)
+	slot := int64(st.slotOf[w])
+	switch w.Kind {
+	case WatchScalar:
+		b.Li32(rA, int64(w.Addr))
+		b.Mem(loadOpForSize(w.Size), rB, 0, rA) // rB = current value
+		b.Mem(isa.OpLdq, rC, slot, rBase)       // rC = previous value
+		b.Op3(isa.OpCmpeq, rB, rC, rC)
+		b.CondBr(isa.OpBne, rC, "done") // silent: return without trapping
+		b.Mem(isa.OpStq, rB, slot, rBase)
+		d.emitCond(b, st, w, rB, rC)
+		b.Trap()
+		b.Br("done")
+
+	case WatchIndirect:
+		b.Li32(rA, int64(w.Addr))
+		b.Mem(isa.OpLdq, rB, 0, rA) // rB = p
+		// Keep dar tracking the current target quad so the replacement
+		// sequence's cheap match stays accurate as p moves (§5.1: "watch
+		// the base address p then update the *p watch condition whenever
+		// the value of p changes").
+		b.OpI(isa.OpBic, rB, 7, rC)
+		b.Emit(isa.Inst{Op: isa.OpDmtr, RA: rC, RB: isa.DAR, RBSp: isa.DiseSpace})
+		b.Mem(loadOpForSize(w.Size), rB, 0, rB) // rB = *p
+		b.Mem(isa.OpLdq, rC, slot, rBase)
+		b.Op3(isa.OpCmpeq, rB, rC, rC)
+		b.CondBr(isa.OpBne, rC, "done")
+		b.Mem(isa.OpStq, rB, slot, rBase)
+		d.emitCond(b, st, w, rB, rC)
+		b.Trap()
+		b.Br("done")
+
+	case WatchRange:
+		nQuads := int64((w.Length + 7) / 8)
+		cmp := fmt.Sprintf("wp%d_cmp", i)
+		chg := fmt.Sprintf("wp%d_chg", i)
+		cpy := fmt.Sprintf("wp%d_cpy", i)
+		// Compare the region against the copy, quad by quad.
+		b.Li32(rA, int64(w.Addr))
+		b.Li32(rB, int64(st.dataBase)+slot)
+		b.Li32(rC, nQuads)
+		b.Label(cmp)
+		b.Mem(isa.OpLdq, rD, 0, rA)
+		b.Mem(isa.OpLdq, rAddr, 0, rB) // store address is dead by now
+		b.Op3(isa.OpCmpeq, rD, rAddr, rD)
+		b.CondBr(isa.OpBeq, rD, chg)
+		b.Lda(rA, 8, rA)
+		b.Lda(rB, 8, rB)
+		b.OpI(isa.OpSubq, rC, 1, rC)
+		b.CondBr(isa.OpBne, rC, cmp)
+		b.Br("done") // unchanged
+		// Changed: refresh the copy, check the predicate, trap.
+		b.Label(chg)
+		b.Li32(rA, int64(w.Addr))
+		b.Li32(rB, int64(st.dataBase)+slot)
+		b.Li32(rC, nQuads)
+		b.Label(cpy)
+		b.Mem(isa.OpLdq, rD, 0, rA)
+		b.Mem(isa.OpStq, rD, 0, rB)
+		b.Lda(rA, 8, rA)
+		b.Lda(rB, 8, rB)
+		b.OpI(isa.OpSubq, rC, 1, rC)
+		b.CondBr(isa.OpBne, rC, cpy)
+		if w.Cond != nil {
+			// The predicate applies to the region's first quad.
+			b.Li32(rA, int64(w.Addr))
+			b.Mem(isa.OpLdq, rB, 0, rA)
+			d.emitCond(b, st, w, rB, rC)
+		}
+		b.Trap()
+		b.Br("done")
+
+	case WatchExpr:
+		// Value = sum of the terms.
+		b.Li(rB, 0)
+		for _, a := range w.Terms {
+			b.Li32(rA, int64(a))
+			b.Mem(isa.OpLdq, rA, 0, rA)
+			b.Op3(isa.OpAddq, rB, rA, rB)
+		}
+		b.Mem(isa.OpLdq, rC, slot, rBase)
+		b.Op3(isa.OpCmpeq, rB, rC, rC)
+		b.CondBr(isa.OpBne, rC, "done")
+		b.Mem(isa.OpStq, rB, slot, rBase)
+		d.emitCond(b, st, w, rB, rC)
+		b.Trap()
+		b.Br("done")
+	}
+}
+
+// emitCond emits the inline predicate test: branch to done (no trap) when
+// the condition fails, consuming tmp. rVal holds the expression value. The
+// comparison constant is a full 64-bit value, kept in the debugger data
+// region (§4.3: "auxiliary information in the debugger's static data
+// area").
+func (d *Debugger) emitCond(b *asm.Builder, st *diseState, w *Watchpoint, rVal, rTmp isa.Reg) {
+	if w.Cond == nil {
+		return
+	}
+	b.Mem(isa.OpLdq, rTmp, int64(st.condSlot[w]), isa.R20)
+	switch w.Cond.Op {
+	case CondEq:
+		b.Op3(isa.OpCmpeq, rVal, rTmp, rTmp)
+		b.CondBr(isa.OpBeq, rTmp, "done")
+	case CondNe:
+		b.Op3(isa.OpCmpeq, rVal, rTmp, rTmp)
+		b.CondBr(isa.OpBne, rTmp, "done")
+	case CondLt:
+		b.Op3(isa.OpCmplt, rVal, rTmp, rTmp)
+		b.CondBr(isa.OpBeq, rTmp, "done")
+	case CondGt:
+		b.Op3(isa.OpCmplt, rTmp, rVal, rTmp)
+		b.CondBr(isa.OpBeq, rTmp, "done")
+	}
+}
+
+// buildErrHandler generates the protection error handler: report the wild
+// store and resume (Figure 2f's "error" target).
+func buildErrHandler() []uint32 {
+	b := asm.New()
+	b.Emit(isa.Inst{Op: isa.OpBrk})
+	b.Emit(isa.Inst{Op: isa.OpDret})
+	return b.MustFinish().Text
+}
+
+// diseTrapHook classifies traps raised by generated code. Every trap the
+// generated code raises is, by construction, a user transition: address
+// matching, silent-store pruning, and predicate evaluation all happened
+// inside the application before trapping (§4). It returns 0 cycles —
+// user transitions are masked by user interaction (§5).
+func (d *Debugger) diseTrapHook(ev *pipeline.TrapEvent) uint64 {
+	st := d.dise
+	switch {
+	case st.errBase != 0 && ev.PC >= st.errBase && ev.PC < st.errEnd:
+		d.stats.ProtViolations++
+		d.user(UserEvent{PC: ev.PC})
+	case st.handlerBase != 0 && ev.PC >= st.handlerBase && ev.PC < st.handlerEnd:
+		// dr1 still holds the store address the sequence computed.
+		w := d.wpForAddr(d.m.Engine.Regs[drT1] &^ 7)
+		var v uint64
+		if w != nil && w.Kind != WatchRange {
+			v = d.evalExpr(w)
+		}
+		d.user(UserEvent{PC: ev.PC, Watchpoint: w, Value: v})
+	case ev.InDise:
+		if bp := d.bpAt(ev.PC); bp != nil {
+			d.user(UserEvent{PC: ev.PC, Breakpoint: bp})
+			break
+		}
+		// Inline-variant watch trap: refresh dpv so the next comparison
+		// is against the value the user just saw.
+		if len(d.watchpoints) > 0 {
+			w := d.watchpoints[0]
+			v := d.evalExpr(w)
+			d.m.Engine.Regs[isa.DPV] = v
+			d.user(UserEvent{PC: ev.PC, Watchpoint: w, Value: v})
+			break
+		}
+		d.user(UserEvent{PC: ev.PC})
+	default:
+		// The application's own trap (assertion, illegal instruction):
+		// control goes to the user.
+		d.user(UserEvent{PC: ev.PC})
+	}
+	return 0
+}
+
+// wpForAddr finds the watchpoint whose watched quads include addr.
+func (d *Debugger) wpForAddr(addr uint64) *Watchpoint {
+	for _, w := range d.watchpoints {
+		for _, r := range d.watchedRanges(w) {
+			if addr >= r[0]&^7 && addr < (r[1]+7)&^7 {
+				return w
+			}
+		}
+	}
+	if len(d.watchpoints) == 1 {
+		return d.watchpoints[0]
+	}
+	return nil
+}
+
+func (d *Debugger) bpAt(pc uint64) *Breakpoint {
+	for _, b := range d.breakpoints {
+		if b.PC == pc {
+			return b
+		}
+	}
+	return nil
+}

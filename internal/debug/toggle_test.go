@@ -1,0 +1,258 @@
+package debug_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/debug"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+func TestEnableDisableWatchpoints(t *testing.T) {
+	m := loadProg(t, watchProg)
+	d := debug.New(m, debug.DefaultOptions(debug.BackendDise))
+	if err := d.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: m.Program.MustSymbol("v"), Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	// Disable before running: no transitions at all.
+	if err := d.Disable(); err != nil {
+		t.Fatal(err)
+	}
+	m.MustRun(0)
+	if got := d.Stats().User; got != 0 {
+		t.Errorf("disabled watchpoint fired %d times", got)
+	}
+	// Re-enable and run the same program on a fresh machine state by
+	// checking the production set instead: Enable must restore them.
+	if err := d.Enable(); err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, p := range m.Engine.Productions() {
+		if p.Name == "watch-stores" || p.Name == "watch-stores-quad" {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("Enable did not restore productions")
+	}
+	// Double enable is idempotent.
+	if err := d.Enable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToggleRequiresDise(t *testing.T) {
+	m := loadProg(t, watchProg)
+	d := debug.New(m, debug.DefaultOptions(debug.BackendVirtualMemory))
+	if err := d.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: m.Program.MustSymbol("v"), Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Disable(); err == nil {
+		t.Error("Disable should require the DISE backend")
+	}
+	if err := d.Enable(); err == nil {
+		t.Error("Enable should require the DISE backend")
+	}
+}
+
+func TestCodewordBreakpoint(t *testing.T) {
+	prog, err := asm.Assemble(`
+.data
+count: .quad 0
+.text
+main:
+    la  r1, count
+    li  r2, 3
+loop:
+    ldq r3, 0(r1)
+    addq r3, #1, r3
+target:
+    stq r3, 0(r1)
+    subq r2, #1, r2
+    bne r2, loop
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewDefault()
+	m.Load(prog)
+	opts := debug.DefaultOptions(debug.BackendDise)
+	opts.BreakWithCodewords = true
+	d := debug.New(m, opts)
+	if err := d.Break(&debug.Breakpoint{PC: prog.MustSymbol("target")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	// The text now holds a codeword at the breakpoint.
+	w := uint32(m.Mem.Read(prog.MustSymbol("target"), 4))
+	if got := isa.Decode(w); got.Op != isa.OpCodeword {
+		t.Fatalf("breakpoint site holds %v, want a codeword", got)
+	}
+	m.MustRun(0)
+	if got := d.Stats().User; got != 3 {
+		t.Errorf("breakpoint hits = %d, want 3", got)
+	}
+	// The original store still executes (count reaches 3).
+	if got := m.ReadQuad(prog.MustSymbol("count")); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+}
+
+func TestCodewordBreakpointConditionalFallsBack(t *testing.T) {
+	// Conditions cannot ride on codewords (the production would need the
+	// predicate anyway); the debugger silently uses a PC pattern instead
+	// and leaves the text unpatched.
+	m := loadProg(t, watchProg)
+	opts := debug.DefaultOptions(debug.BackendDise)
+	opts.BreakWithCodewords = true
+	d := debug.New(m, opts)
+	pc := m.Program.Entry
+	before := m.Mem.Read(pc, 4)
+	if err := d.Break(&debug.Breakpoint{
+		PC:   pc,
+		Cond: &debug.BreakCond{Addr: m.Program.MustSymbol("v"), Op: debug.CondEq, Value: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem.Read(pc, 4); got != before {
+		t.Error("conditional breakpoint should not patch the text")
+	}
+}
+
+func TestScopeWatch(t *testing.T) {
+	// v is written both inside and outside the function f; a scoped watch
+	// must only see the writes inside.
+	prog, err := asm.Assemble(`
+.data
+v: .quad 0
+.text
+main:
+    la  r1, v
+    li  r2, 100       ; outside write
+    stq r2, 0(r1)
+    bsr ra, f
+    li  r2, 300       ; outside write
+    stq r2, 0(r1)
+    halt
+f:
+    li  r2, 200       ; inside write
+    stq r2, 0(r1)
+fret:
+    ret (ra)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewDefault()
+	m.Load(prog)
+	d := debug.New(m, debug.DefaultOptions(debug.BackendDise))
+	if err := d.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: prog.MustSymbol("v"), Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ScopeWatch(prog.MustSymbol("f"), prog.MustSymbol("fret")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	var values []uint64
+	d.OnUser = func(ev debug.UserEvent) {
+		if ev.Watchpoint != nil {
+			values = append(values, ev.Value)
+		}
+	}
+	m.MustRun(0)
+	if len(values) != 1 || values[0] != 200 {
+		t.Errorf("scoped watch saw %v, want [200]", values)
+	}
+}
+
+// TestBreakpointOnWatchedStore: a breakpoint set on a store instruction
+// must not shadow the watch-stores production (the PC pattern is more
+// specific and would otherwise win): both the breakpoint and the
+// watchpoint must fire.
+func TestBreakpointOnWatchedStore(t *testing.T) {
+	prog, err := asm.Assemble(`
+.data
+v: .quad 0
+.text
+main:
+    la  r1, v
+    li  r2, 3
+loop:
+    stq r2, 0(r1)      ; breakpoint AND watched store
+    subq r2, #1, r2
+    bne r2, loop
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, codewords := range []bool{false, true} {
+		m := machine.NewDefault()
+		m.Load(prog)
+		opts := debug.DefaultOptions(debug.BackendDise)
+		opts.BreakWithCodewords = codewords
+		d := debug.New(m, opts)
+		if err := d.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: prog.MustSymbol("v"), Size: 8}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Break(&debug.Breakpoint{PC: prog.MustSymbol("loop")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Install(); err != nil {
+			t.Fatal(err)
+		}
+		var watchHits, breakHits int
+		d.OnUser = func(ev debug.UserEvent) {
+			switch {
+			case ev.Watchpoint != nil:
+				watchHits++
+			case ev.Breakpoint != nil:
+				breakHits++
+			}
+		}
+		m.MustRun(0)
+		if breakHits != 3 {
+			t.Errorf("codewords=%v: breakpoint hits = %d, want 3", codewords, breakHits)
+		}
+		if watchHits != 3 {
+			t.Errorf("codewords=%v: watchpoint hits = %d, want 3 (store at breakpoint must stay watched)", codewords, watchHits)
+		}
+		if got := m.ReadQuad(prog.MustSymbol("v")); got != 1 {
+			t.Errorf("codewords=%v: v = %d, want 1", codewords, got)
+		}
+	}
+}
+
+func TestScopeWatchRequiresDiseAndPreInstall(t *testing.T) {
+	m := loadProg(t, watchProg)
+	d := debug.New(m, debug.DefaultOptions(debug.BackendHardwareReg))
+	if err := d.ScopeWatch(0x1000, 0x1004); err == nil {
+		t.Error("ScopeWatch should require the DISE backend")
+	}
+	d2 := debug.New(m, debug.DefaultOptions(debug.BackendDise))
+	if err := d2.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: m.Program.MustSymbol("v"), Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.ScopeWatch(0x1000, 0x1004); err == nil {
+		t.Error("ScopeWatch after Install should fail")
+	}
+}

@@ -1,0 +1,238 @@
+package dise
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Production is a rewriting rule: a pattern and a parameterized
+// replacement sequence (paper §3).
+type Production struct {
+	Name        string
+	Pattern     Pattern
+	Replacement []TemplateInst
+}
+
+func (p *Production) String() string {
+	s := p.Pattern.String() + " =>"
+	for _, t := range p.Replacement {
+		s += "\n    " + t.String()
+	}
+	return s
+}
+
+// Config sizes the DISE engine. The paper's §5 evaluation uses a modest
+// configuration: a 32-entry pattern table and a 512-instruction 2-way
+// set-associative replacement table.
+type Config struct {
+	PatternEntries   int
+	ReplacementInsts int // total replacement-table capacity in instructions
+	ReplMissPenalty  int // cycles to refill one production's sequence
+	ExpandPerCycle   int // replacement instructions deliverable per cycle
+}
+
+// DefaultConfig matches the paper.
+func DefaultConfig() Config {
+	return Config{
+		PatternEntries:   32,
+		ReplacementInsts: 512,
+		ReplMissPenalty:  24,
+		ExpandPerCycle:   4,
+	}
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Lookups       uint64
+	Expansions    uint64
+	InstsInserted uint64 // replacement instructions delivered
+	ReplMisses    uint64 // replacement-table capacity misses
+}
+
+// Engine is the architectural DISE engine: pattern table, replacement
+// table, and the private DISE register file. The pipeline consults it
+// between fetch and decode.
+type Engine struct {
+	cfg   Config
+	prods []*Production
+
+	// Active is false while the core executes a DISE-called function;
+	// expansion is disabled there to keep replacement sequences
+	// self-contained and to prevent bottomless recursion (paper §3).
+	Active bool
+
+	// Regs is the DISE register file, accessible only to replacement
+	// instructions and, via d_mfr/d_mtr, to DISE-called functions.
+	Regs [isa.NumDiseRegs]uint64
+
+	// DLinkPC and DLinkDPC hold the pending DISE-call return point
+	// ⟨PC:DISEPC+1⟩.
+	DLinkPC  uint64
+	DLinkDPC int
+
+	// replacement-table residency model, production-granular LRU.
+	resident map[*Production]uint64
+	replUsed int
+	lruClock uint64
+
+	stats Stats
+}
+
+// NewEngine returns an empty, enabled engine.
+func NewEngine(cfg Config) *Engine {
+	return &Engine{
+		cfg:      cfg,
+		Active:   true,
+		resident: make(map[*Production]uint64),
+	}
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns engine statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Install adds a production to the pattern table. It fails when the table
+// is full — debuggers must then fall back to other mechanisms, the same
+// capacity argument the paper makes for hardware watchpoint registers.
+func (e *Engine) Install(p *Production) error {
+	if len(e.prods) >= e.cfg.PatternEntries {
+		return fmt.Errorf("dise: pattern table full (%d entries)", e.cfg.PatternEntries)
+	}
+	if len(p.Replacement) == 0 {
+		return fmt.Errorf("dise: production %q has an empty replacement sequence", p.Name)
+	}
+	e.prods = append(e.prods, p)
+	return nil
+}
+
+// Remove deletes a production by identity; it reports whether it was
+// present.
+func (e *Engine) Remove(p *Production) bool {
+	for i, q := range e.prods {
+		if q == p {
+			e.prods = append(e.prods[:i], e.prods[i+1:]...)
+			if _, ok := e.resident[p]; ok {
+				delete(e.resident, p)
+				e.replUsed -= len(p.Replacement)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Clear removes all productions.
+func (e *Engine) Clear() {
+	e.prods = nil
+	e.resident = make(map[*Production]uint64)
+	e.replUsed = 0
+}
+
+// Productions returns the installed productions (shared slice; callers
+// must not mutate).
+func (e *Engine) Productions() []*Production { return e.prods }
+
+// Expansion is the result of expanding one trigger instruction.
+type Expansion struct {
+	Prod  *Production
+	Insts []isa.Inst // fully instantiated; DISEPC k executes Insts[k-1]
+	// ExtraLatency is the replacement-table refill penalty, if any.
+	ExtraLatency int
+}
+
+// Lookup returns the most specific matching production, if any, without
+// touching the replacement table. Ties break toward the earliest
+// installed.
+func (e *Engine) Lookup(inst isa.Inst, pc uint64) (*Production, bool) {
+	e.stats.Lookups++
+	var best *Production
+	bestSpec := -1
+	for _, p := range e.prods {
+		if p.Pattern.Matches(inst, pc) && p.Pattern.Specificity() > bestSpec {
+			best, bestSpec = p, p.Pattern.Specificity()
+		}
+	}
+	return best, best != nil
+}
+
+// Expand applies the most specific matching production to inst at pc. The
+// boolean result is false if the engine is inactive or nothing matches.
+func (e *Engine) Expand(inst isa.Inst, pc uint64) (Expansion, bool) {
+	if !e.Active {
+		return Expansion{}, false
+	}
+	p, ok := e.Lookup(inst, pc)
+	if !ok {
+		return Expansion{}, false
+	}
+	penalty := e.touchReplacement(p)
+	insts := make([]isa.Inst, len(p.Replacement))
+	for i, t := range p.Replacement {
+		insts[i] = t.Instantiate(inst)
+	}
+	e.stats.Expansions++
+	e.stats.InstsInserted += uint64(len(insts))
+	return Expansion{Prod: p, Insts: insts, ExtraLatency: penalty}, true
+}
+
+// touchReplacement models replacement-table capacity: if the production's
+// sequence is not resident, evict LRU productions until it fits and charge
+// the refill penalty.
+func (e *Engine) touchReplacement(p *Production) int {
+	e.lruClock++
+	if _, ok := e.resident[p]; ok {
+		e.resident[p] = e.lruClock
+		return 0
+	}
+	e.stats.ReplMisses++
+	need := len(p.Replacement)
+	if need > e.cfg.ReplacementInsts {
+		// Degenerate: sequence larger than the table; always misses.
+		return e.cfg.ReplMissPenalty
+	}
+	for e.replUsed+need > e.cfg.ReplacementInsts {
+		var victim *Production
+		var oldest uint64 = ^uint64(0)
+		for q, at := range e.resident {
+			if at < oldest {
+				victim, oldest = q, at
+			}
+		}
+		delete(e.resident, victim)
+		e.replUsed -= len(victim.Replacement)
+	}
+	e.resident[p] = e.lruClock
+	e.replUsed += need
+	return e.cfg.ReplMissPenalty
+}
+
+// Reexpand re-instantiates the matching production without touching
+// statistics or the replacement table. The pipeline uses it when fetch
+// resumes mid-sequence — after a DISE call returns to ⟨PC:DISEPC⟩ — and
+// the engine must rebuild the expansion of the instruction at PC
+// (paper §3: "the DISE engine ... begins expanding the instruction at
+// newDISEPC").
+func (e *Engine) Reexpand(inst isa.Inst, pc uint64) (Expansion, bool) {
+	var best *Production
+	bestSpec := -1
+	for _, p := range e.prods {
+		if p.Pattern.Matches(inst, pc) && p.Pattern.Specificity() > bestSpec {
+			best, bestSpec = p, p.Pattern.Specificity()
+		}
+	}
+	if best == nil {
+		return Expansion{}, false
+	}
+	insts := make([]isa.Inst, len(best.Replacement))
+	for i, t := range best.Replacement {
+		insts[i] = t.Instantiate(inst)
+	}
+	return Expansion{Prod: best, Insts: insts}, true
+}
+
+// DBranchTarget computes the DISEPC a taken DISE branch at disepc jumps
+// to: skip instructions are jumped over relative to the next slot.
+func DBranchTarget(disepc int, skip int64) int { return disepc + 1 + int(skip) }

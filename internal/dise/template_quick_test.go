@@ -1,0 +1,118 @@
+package dise
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// Property tests over the template-instantiation layer.
+
+func randTrigger(r *rand.Rand) isa.Inst {
+	ops := []isa.Op{isa.OpStq, isa.OpStl, isa.OpStw, isa.OpStb, isa.OpLdq, isa.OpLdl}
+	return isa.Inst{
+		Op:  ops[r.Intn(len(ops))],
+		RA:  isa.Reg(r.Intn(32)),
+		RB:  isa.Reg(r.Intn(32)),
+		Imm: int64(int16(r.Uint32())),
+	}
+}
+
+// Property: T.INST always reproduces the trigger exactly.
+func TestQuickTInstIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		trig := randTrigger(r)
+		return TInst().Instantiate(trig) == trig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a fully literal template ignores the trigger entirely.
+func TestQuickLiteralIgnoresTrigger(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lit := Lit(isa.Inst{Op: isa.OpAddq, RA: isa.R1, RB: isa.R2, RC: isa.R3})
+		a := lit.Instantiate(randTrigger(r))
+		b := lit.Instantiate(randTrigger(r))
+		return a == b && a == lit.Inst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LdaTImmTRS1 always computes the trigger's effective-address
+// pair: same base register, same displacement, and never touches the
+// trigger's data register.
+func TestQuickLdaTImmTRS1(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		trig := randTrigger(r)
+		out := LdaTImmTRS1(DReg(isa.DR1)).Instantiate(trig)
+		return out.Op == isa.OpLda &&
+			out.RA == isa.DR1 && out.RASp == isa.DiseSpace &&
+			out.RB == trig.RB && out.RBSp == trig.RBSp &&
+			out.Imm == trig.Imm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pattern specificity is consistent with match implication —
+// if p is q plus extra constraints, p.Specificity() > q.Specificity().
+func TestQuickSpecificityMonotone(t *testing.T) {
+	f := func(classSel uint8, reg uint8) bool {
+		base := MatchClass(isa.Class(classSel % 8))
+		refined := base.WithRB(isa.Reg(reg % 32))
+		return refined.Specificity() > base.Specificity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Expand is deterministic — the same trigger at the same PC
+// yields identical instruction sequences.
+func TestQuickExpandDeterministic(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	prod := &Production{
+		Name:    "p",
+		Pattern: MatchClass(isa.ClassStore),
+		Replacement: []TemplateInst{
+			TInst(),
+			LdaTImmTRS1(DReg(isa.DR1)),
+			Op3T(isa.OpCmpeq, DReg(isa.DR1), DReg(isa.DAR), DReg(isa.DR2)),
+			DCCallT(DReg(isa.DR2), isa.DHDLR),
+		},
+	}
+	if err := e.Install(prod); err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		trig := randTrigger(r)
+		if !trig.Op.IsStore() {
+			return true
+		}
+		a, okA := e.Expand(trig, 0x1000)
+		b, okB := e.Expand(trig, 0x1000)
+		if !okA || !okB || len(a.Insts) != len(b.Insts) {
+			return false
+		}
+		for i := range a.Insts {
+			if a.Insts[i] != b.Insts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,326 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/debug"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// Table1 reproduces the benchmark summary: dynamic instructions, baseline
+// IPC, and store density per kernel, next to the paper's measurements.
+func Table1(cfg Config) *Table {
+	r := newRunner(cfg)
+	t := &Table{
+		ID:    "table1",
+		Title: "Benchmark summary (paper Table 1)",
+		Columns: []string{"bench", "function", "insts", "IPC", "IPC(paper)",
+			"store density", "density(paper)"},
+	}
+	for _, spec := range workload.Specs() {
+		if !cfg.wants(spec.Name) {
+			continue
+		}
+		st := r.baseline(spec.Name)
+		t.Add(spec.Name, spec.Function,
+			fmt.Sprintf("%d", st.AppInsts),
+			fmt.Sprintf("%.2f", st.IPC()),
+			fmt.Sprintf("%.2f", spec.PaperIPC),
+			fmt.Sprintf("%.1f%%", st.StoreDensity()*100),
+			fmt.Sprintf("%.1f%%", spec.PaperDensity*100))
+	}
+	t.Note("kernels are synthetic stand-ins shaped to the paper's function statistics (see DESIGN.md)")
+	return t
+}
+
+// Table2 measures each watchpoint's write frequency per 100K stores and
+// compares with the paper.
+func Table2(cfg Config) *Table {
+	r := newRunner(cfg)
+	t := &Table{
+		ID:      "table2",
+		Title:   "Watchpoint write frequency per 100K stores (paper Table 2)",
+		Columns: []string{"bench", "HOT", "paper", "WARM1", "paper", "WARM2", "paper", "COLD", "paper", "RANGE", "paper"},
+	}
+	for _, spec := range workload.Specs() {
+		if !cfg.wants(spec.Name) {
+			continue
+		}
+		w := r.workload(spec.Name)
+		m := machine.NewDefault()
+		m.Load(w.Program)
+		var stores uint64
+		counts := map[string]uint64{}
+		in := func(a, lo, n uint64) bool { return a >= lo && a < lo+n }
+		m.Core.Hooks.OnStore = func(ev *pipeline.StoreEvent) uint64 {
+			stores++
+			switch {
+			case in(ev.Addr, w.WP.Hot, 8):
+				counts["HOT"]++
+			case in(ev.Addr, w.WP.Warm1, 8):
+				counts["WARM1"]++
+			case in(ev.Addr, w.WP.Warm2, 8):
+				counts["WARM2"]++
+			case in(ev.Addr, w.WP.Cold, 8):
+				counts["COLD"]++
+			case in(ev.Addr, w.WP.Range, w.WP.RangeLen):
+				counts["RANGE"]++
+			}
+			return 0
+		}
+		m.MustRun(0)
+		f := func(k string) string {
+			return fmt.Sprintf("%.1f", float64(counts[k])/float64(stores)*100000)
+		}
+		t.Add(spec.Name,
+			f("HOT"), fmt.Sprintf("%.1f", spec.HotF),
+			f("WARM1"), fmt.Sprintf("%.1f", spec.Warm1F),
+			f("WARM2"), fmt.Sprintf("%.1f", spec.Warm2F),
+			f("COLD"), fmt.Sprintf("%.1f", spec.ColdF),
+			f("RANGE"), fmt.Sprintf("%.1f", spec.RangeF))
+	}
+	t.Note("INDIRECT equals HOT by construction (same storage through a pointer), as in the paper")
+	return t
+}
+
+// watchComparison runs the Figure 3/4 sweep: four implementations across
+// six watchpoint kinds per benchmark.
+func watchComparison(cfg Config, id, title string, cond func() *debug.Condition) *Table {
+	r := newRunner(cfg)
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"bench", "watchpoint", "single-step", "virtual-mem", "hardware", "DISE"},
+	}
+	backends := []debug.Backend{
+		debug.BackendSingleStep, debug.BackendVirtualMemory,
+		debug.BackendHardwareReg, debug.BackendDise,
+	}
+	for _, spec := range workload.Specs() {
+		if !cfg.wants(spec.Name) {
+			continue
+		}
+		for _, kind := range WatchKinds {
+			cells := []string{spec.Name, kind}
+			for _, b := range backends {
+				var c *debug.Condition
+				if cond != nil {
+					c = cond()
+				}
+				res := r.debugged(spec.Name, debug.DefaultOptions(b), nil,
+					func(w *workload.Workload, d *debug.Debugger) error {
+						return d.Watch(WatchpointFor(w, kind, c))
+					})
+				if res.Err != nil {
+					cells = append(cells, "n/a") // unsupported, as in the paper
+					continue
+				}
+				cells = append(cells, fmtOver(res.Overhead))
+			}
+			t.Add(cells...)
+		}
+	}
+	t.Note("normalized execution time vs undebugged baseline; n/a = the mechanism cannot express the watchpoint")
+	return t
+}
+
+// Fig3 compares the four unconditional watchpoint implementations.
+func Fig3(cfg Config) *Table {
+	return watchComparison(cfg, "fig3",
+		"Unconditional watchpoints: four implementations (paper Figure 3)", nil)
+}
+
+// Fig4 compares the four implementations on conditional watchpoints whose
+// predicate never holds.
+func Fig4(cfg Config) *Table {
+	return watchComparison(cfg, "fig4",
+		"Conditional watchpoints, predicate never true (paper Figure 4)", neverCond)
+}
+
+// Fig5 compares DISE with static binary rewriting on the COLD watchpoint.
+func Fig5(cfg Config) *Table {
+	r := newRunner(cfg)
+	t := &Table{
+		ID:      "fig5",
+		Title:   "DISE vs binary rewriting, COLD watchpoint (paper Figure 5)",
+		Columns: []string{"bench", "DISE", "binary-rewriting", "text KB", "rewritten KB"},
+	}
+	for _, spec := range workload.Specs() {
+		if !cfg.wants(spec.Name) {
+			continue
+		}
+		setup := func(w *workload.Workload, d *debug.Debugger) error {
+			return d.Watch(WatchpointFor(w, "COLD", nil))
+		}
+		dise := r.debugged(spec.Name, debug.DefaultOptions(debug.BackendDise), nil, setup)
+		rw := r.debugged(spec.Name, debug.DefaultOptions(debug.BackendBinaryRewrite), nil, setup)
+		origKB := float64(len(r.workload(spec.Name).Program.Text)) * 4 / 1024
+		// Rewriting inflates the static image by ~9 instructions per
+		// store; recompute for the report.
+		nStores := 0
+		for _, word := range r.workload(spec.Name).Program.Text {
+			if inst := decodeStore(word); inst {
+				nStores++
+			}
+		}
+		rwKB := origKB + float64(nStores*9)*4/1024
+		t.Add(spec.Name, fmtOver(dise.Overhead), fmtOver(rw.Overhead),
+			fmt.Sprintf("%.1f", origKB), fmt.Sprintf("%.1f", rwKB))
+	}
+	t.Note("the transformation's startup cost is excluded, as in the paper; I-cache is 32KB")
+	return t
+}
+
+// Fig6 sweeps the number of watchpoints for the hardware/virtual-memory
+// hybrid against the three DISE multi-watchpoint strategies.
+func Fig6(cfg Config) *Table {
+	r := newRunner(cfg)
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Impact of the number of watchpoints (paper Figure 6)",
+		Columns: []string{"bench", "n", "hw/virtual-mem", "serial (DISE)", "byte-bloom (DISE)", "bit-bloom (DISE)"},
+	}
+	benches := []string{"crafty", "gcc", "vortex"}
+	counts := []int{1, 2, 3, 4, 5, 8, 16}
+	for _, name := range benches {
+		if !cfg.wants(name) {
+			continue
+		}
+		for _, n := range counts {
+			setup := func(w *workload.Workload, d *debug.Debugger) error {
+				for i := 0; i < n; i++ {
+					if err := d.Watch(&debug.Watchpoint{
+						Name: fmt.Sprintf("vars[%d]", i),
+						Kind: debug.WatchScalar,
+						Addr: w.WP.Vars + uint64(i)*8,
+						Size: 8,
+					}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			cells := []string{name, fmt.Sprintf("%d", n)}
+			hw := r.debugged(name, debug.DefaultOptions(debug.BackendHardwareReg), nil, setup)
+			cells = append(cells, fmtOver(hw.Overhead))
+			for _, strat := range []debug.MultiStrategy{debug.StrategySerial, debug.StrategyBloomByte, debug.StrategyBloomBit} {
+				opts := debug.DefaultOptions(debug.BackendDise)
+				opts.Multi = strat
+				res := r.debugged(name, opts, nil, setup)
+				if res.Err != nil {
+					cells = append(cells, "err")
+					continue
+				}
+				cells = append(cells, fmtOver(res.Overhead))
+			}
+			t.Add(cells...)
+		}
+	}
+	t.Note("hardware registers cover the first 4 watchpoints; the rest fall back to page protection (§5.3)")
+	return t
+}
+
+// Fig7 evaluates the replacement-sequence variants with and without
+// conditional trap/call ISA support.
+func Fig7(cfg Config) *Table {
+	r := newRunner(cfg)
+	t := &Table{
+		ID:    "fig7",
+		Title: "Alternate DISE implementations (paper Figure 7)",
+		Columns: []string{"bench", "watchpoint",
+			"match/eval+cc", "eval/-+ct", "match-val/-+ct",
+			"match/eval", "eval/-", "match-val/-"},
+	}
+	benches := []string{"bzip2", "mcf", "twolf"}
+	kinds := []string{"HOT", "WARM1", "WARM2", "COLD"}
+	variants := []debug.DiseVariant{debug.VariantMatchAddrEval, debug.VariantEvalExpr, debug.VariantMatchAddrValue}
+	for _, name := range benches {
+		if !cfg.wants(name) {
+			continue
+		}
+		for _, kind := range kinds {
+			cells := []string{name, kind}
+			for _, condSupport := range []bool{true, false} {
+				for _, v := range variants {
+					opts := debug.DefaultOptions(debug.BackendDise)
+					opts.Variant = v
+					opts.CondSupport = condSupport
+					res := r.debugged(name, opts, nil,
+						func(w *workload.Workload, d *debug.Debugger) error {
+							return d.Watch(WatchpointFor(w, kind, nil))
+						})
+					if res.Err != nil {
+						cells = append(cells, "n/a")
+						continue
+					}
+					cells = append(cells, fmtOver(res.Overhead))
+				}
+			}
+			t.Add(cells...)
+		}
+	}
+	t.Note("+cc/+ct columns have conditional call/trap ISA support; the right three use DISE branches that flush")
+	return t
+}
+
+// Fig8 measures the multithreading optimization: DISE-called function
+// bodies execute on a spare context, eliminating call/return flushes.
+func Fig8(cfg Config) *Table {
+	r := newRunner(cfg)
+	t := &Table{
+		ID:      "fig8",
+		Title:   "DISE overhead with multithreaded function bodies (paper Figure 8)",
+		Columns: []string{"bench", "watchpoint", "without MT", "with MT"},
+	}
+	kinds := []string{"HOT", "WARM1", "WARM2", "COLD"}
+	for _, spec := range workload.Specs() {
+		if !cfg.wants(spec.Name) {
+			continue
+		}
+		for _, kind := range kinds {
+			setup := func(w *workload.Workload, d *debug.Debugger) error {
+				return d.Watch(WatchpointFor(w, kind, nil))
+			}
+			noMT := r.debugged(spec.Name, debug.DefaultOptions(debug.BackendDise), nil, setup)
+			mcfg := machine.DefaultConfig()
+			mcfg.Core.MTDiseCalls = true
+			withMT := r.debugged(spec.Name, debug.DefaultOptions(debug.BackendDise), &mcfg, setup)
+			t.Add(spec.Name, kind, fmtOver(noMT.Overhead), fmtOver(withMT.Overhead))
+		}
+	}
+	return t
+}
+
+// Fig9 measures the cost of protecting the debugger's embedded data with
+// the Figure 2f production, on the COLD watchpoint.
+func Fig9(cfg Config) *Table {
+	r := newRunner(cfg)
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Cost of protecting debugger structures (paper Figure 9)",
+		Columns: []string{"bench", "not protected", "protected"},
+	}
+	for _, spec := range workload.Specs() {
+		if !cfg.wants(spec.Name) {
+			continue
+		}
+		setup := func(w *workload.Workload, d *debug.Debugger) error {
+			return d.Watch(WatchpointFor(w, "COLD", nil))
+		}
+		plain := r.debugged(spec.Name, debug.DefaultOptions(debug.BackendDise), nil, setup)
+		opts := debug.DefaultOptions(debug.BackendDise)
+		opts.Protect = true
+		prot := r.debugged(spec.Name, opts, nil, setup)
+		t.Add(spec.Name, fmtOver(plain.Overhead), fmtOver(prot.Overhead))
+	}
+	return t
+}
+
+// decodeStore reports whether an encoded instruction is a store (local
+// helper for Fig5's footprint accounting).
+func decodeStore(word uint32) bool {
+	op := word >> 26
+	return op >= 0x28 && op <= 0x2B
+}

@@ -1,0 +1,285 @@
+// Package harness defines and runs the paper's experiments: Tables 1-2
+// and Figures 3-9 of the evaluation (§5). Each experiment builds the
+// benchmark kernels, attaches the debugger back ends under test, runs the
+// cycle-level simulator, and prints rows shaped like the paper's tables
+// and figures (normalized execution time relative to the undebugged run).
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/debug"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// Config scales and filters an experiment run.
+type Config struct {
+	// Budget is the approximate number of application instructions per
+	// simulation (the paper simulates each function in its entirety; we
+	// size iteration counts to hit this budget and run to completion).
+	Budget uint64
+	// Benchmarks restricts the run to the named kernels (nil = all).
+	Benchmarks []string
+}
+
+// DefaultConfig returns the standard experiment scale.
+func DefaultConfig() Config {
+	return Config{Budget: 600_000}
+}
+
+func (c Config) wants(name string) bool {
+	if len(c.Benchmarks) == 0 {
+		return true
+	}
+	for _, b := range c.Benchmarks {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// runner caches workload builds and baseline runs across an experiment.
+type runner struct {
+	cfg       Config
+	workloads map[string]*workload.Workload
+	baselines map[string]pipeline.Stats
+}
+
+func newRunner(cfg Config) *runner {
+	if cfg.Budget == 0 {
+		cfg.Budget = DefaultConfig().Budget
+	}
+	return &runner{
+		cfg:       cfg,
+		workloads: make(map[string]*workload.Workload),
+		baselines: make(map[string]pipeline.Stats),
+	}
+}
+
+// iterations sizes a kernel's outer loop so the undebugged run executes
+// roughly the configured budget.
+func (r *runner) iterations(spec workload.Spec) int {
+	instsPerIter := float64(spec.Groups*(2+spec.Fill)) + 40
+	it := int(float64(r.cfg.Budget) / instsPerIter)
+	if it < 20 {
+		it = 20
+	}
+	return it
+}
+
+func (r *runner) workload(name string) *workload.Workload {
+	if w, ok := r.workloads[name]; ok {
+		return w
+	}
+	spec, ok := workload.ByName(name)
+	if !ok {
+		panic("harness: unknown benchmark " + name)
+	}
+	w := workload.MustBuild(spec, r.iterations(spec))
+	r.workloads[name] = w
+	return w
+}
+
+// baseline runs the kernel undebugged, to completion.
+func (r *runner) baseline(name string) pipeline.Stats {
+	if st, ok := r.baselines[name]; ok {
+		return st
+	}
+	w := r.workload(name)
+	m := machine.NewDefault()
+	m.Load(w.Program)
+	st := m.MustRun(0)
+	r.baselines[name] = st
+	return st
+}
+
+// result is one debugged run.
+type result struct {
+	Stats    pipeline.Stats
+	Trans    debug.TransitionStats
+	Overhead float64 // cycles / baseline cycles
+	Err      error
+}
+
+// debugged runs a kernel under a configured debugger. setup registers
+// watchpoints/breakpoints on the debugger before Install.
+func (r *runner) debugged(name string, opts debug.Options, mcfg *machine.Config,
+	setup func(*workload.Workload, *debug.Debugger) error) result {
+	w := r.workload(name)
+	cfg := machine.DefaultConfig()
+	if mcfg != nil {
+		cfg = *mcfg
+	}
+	m := machine.New(cfg)
+	m.Load(w.Program)
+	d := debug.New(m, opts)
+	if err := setup(w, d); err != nil {
+		return result{Err: err}
+	}
+	if err := d.Install(); err != nil {
+		return result{Err: err}
+	}
+	st, err := m.Run(0)
+	if err != nil {
+		return result{Err: err}
+	}
+	base := r.baseline(name)
+	return result{
+		Stats:    st,
+		Trans:    d.Stats(),
+		Overhead: float64(st.Cycles) / float64(base.Cycles),
+	}
+}
+
+// WatchKinds are the six per-benchmark watchpoints of §5, in paper order.
+var WatchKinds = []string{"HOT", "WARM1", "WARM2", "COLD", "INDIRECT", "RANGE"}
+
+// WatchpointFor builds the named watchpoint for a kernel.
+func WatchpointFor(w *workload.Workload, kind string, cond *debug.Condition) *debug.Watchpoint {
+	wp := &debug.Watchpoint{Name: kind, Kind: debug.WatchScalar, Size: 8, Cond: cond}
+	switch kind {
+	case "HOT":
+		wp.Addr = w.WP.Hot
+	case "WARM1":
+		wp.Addr = w.WP.Warm1
+	case "WARM2":
+		wp.Addr = w.WP.Warm2
+	case "COLD":
+		wp.Addr = w.WP.Cold
+	case "INDIRECT":
+		wp.Kind = debug.WatchIndirect
+		wp.Addr = w.WP.Ptr
+	case "RANGE":
+		wp.Kind = debug.WatchRange
+		wp.Addr = w.WP.Range
+		wp.Length = w.WP.RangeLen
+	default:
+		panic("harness: unknown watchpoint kind " + kind)
+	}
+	return wp
+}
+
+// neverCond is the Figure 4 predicate: "compares the value of the watched
+// expression to a constant it never matches".
+func neverCond() *debug.Condition {
+	return &debug.Condition{Op: debug.CondEq, Value: 0x7FFF_FFFF_FFFF_FFF1}
+}
+
+// fmtOver formats a normalized execution time the way the paper's log
+// plots read: two decimals near 1, integers when huge.
+func fmtOver(v float64) string {
+	switch {
+	case v == 0:
+		return "-"
+	case v < 100:
+		return fmt.Sprintf("%.2f", v)
+	case v < 10000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Experiments lists the available experiment IDs in paper order.
+func Experiments() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var registry = map[string]func(Config) *Table{
+	"table1": Table1,
+	"table2": Table2,
+	"fig3":   Fig3,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) (*Table, error) {
+	f, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
+	}
+	return f(cfg), nil
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(cfg Config) []*Table {
+	order := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+	out := make([]*Table, 0, len(order))
+	for _, id := range order {
+		t, _ := Run(id, cfg)
+		out = append(out, t)
+	}
+	return out
+}

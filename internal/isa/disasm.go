@@ -1,0 +1,64 @@
+package isa
+
+import "fmt"
+
+// String disassembles an instruction into assembler syntax. Template- or
+// DISE-register operands render with their conventional names, so
+// replacement-sequence listings read like the paper's Figure 2.
+func (i Inst) String() string {
+	ra := RegRef{i.RA, i.RASp}
+	rb := RegRef{i.RB, i.RBSp}
+	rc := RegRef{i.RC, i.RCSp}
+	switch i.Op.Class() {
+	case ClassLoad, ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, ra, i.Imm, rb)
+	case ClassBranch:
+		return fmt.Sprintf("%s %s, %+d", i.Op, ra, i.Imm)
+	case ClassJump:
+		switch i.Op {
+		case OpBr, OpBsr:
+			if i.RA == Zero && i.Op == OpBr {
+				return fmt.Sprintf("br %+d", i.Imm)
+			}
+			return fmt.Sprintf("%s %s, %+d", i.Op, ra, i.Imm)
+		case OpRet:
+			return fmt.Sprintf("ret (%s)", rb)
+		default:
+			return fmt.Sprintf("%s %s, (%s)", i.Op, ra, rb)
+		}
+	case ClassTrap:
+		if i.Op == OpCtrap {
+			return fmt.Sprintf("ctrap %s", ra)
+		}
+		return i.Op.Name()
+	case ClassNop, ClassHalt:
+		if i.Op == OpCodeword {
+			return fmt.Sprintf("codeword %d", i.Imm)
+		}
+		return i.Op.Name()
+	case ClassDise:
+		switch i.Op {
+		case OpDbeq, OpDbne:
+			return fmt.Sprintf("%s %s, %+d", i.Op, ra, i.Imm)
+		case OpDcall:
+			return fmt.Sprintf("d_call %s", RegRef{i.RB, DiseSpace})
+		case OpDccall:
+			return fmt.Sprintf("d_ccall %s, %s", ra, RegRef{i.RB, DiseSpace})
+		case OpDret:
+			return "d_ret"
+		}
+	}
+	// operate
+	switch i.Op {
+	case OpLda, OpLdah:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, ra, i.Imm, rb)
+	case OpDmfr:
+		return fmt.Sprintf("d_mfr %s, %s", rc, RegRef{i.RB, DiseSpace})
+	case OpDmtr:
+		return fmt.Sprintf("d_mtr %s, %s", RegRef{i.RB, DiseSpace}, ra)
+	}
+	if i.UseImm {
+		return fmt.Sprintf("%s %s, #%d, %s", i.Op, ra, i.Imm, rc)
+	}
+	return fmt.Sprintf("%s %s, %s, %s", i.Op, ra, rb, rc)
+}

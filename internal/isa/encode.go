@@ -1,0 +1,358 @@
+package isa
+
+import "fmt"
+
+// Binary encoding. All instructions are 32 bits, little-endian in memory.
+//
+// Formats (bit 31 is the MSB):
+//
+//	M  (memory, lda/ldah):  op(6) ra(5) rb(5) disp(16, signed)
+//	B  (branch):            op(6) ra(5) disp(21, signed, in words)
+//	O  (operate, register): op(6) ra(5) rb(5) sbz(3) 0 func(7) rc(5)
+//	O  (operate, literal):  op(6) ra(5) lit(8)        1 func(7) rc(5)
+//	J  (jump):              op(6) ra(5) rb(5) func(2) disp(14)
+//	P  (misc/ctrap):        op(6) ra(5) imm(21)
+//	C  (codeword):          op(6) payload(26)
+//	D  (DISE group):        op(6) ra(5) rb(5) func(5) imm(11, signed)
+//
+// Operand register fields always name application registers; the only
+// encodable references to DISE registers are the rb fields of the DISE
+// group (d_call/d_ccall target register, d_mfr source, d_mtr destination),
+// which are indices into the DISE register file.
+const (
+	pcMisc     = 0x00
+	pcCtrap    = 0x01
+	pcLda      = 0x08
+	pcLdah     = 0x09
+	pcInta     = 0x10
+	pcIntl     = 0x11
+	pcInts     = 0x12
+	pcJmpGrp   = 0x1A
+	pcLdbu     = 0x20
+	pcLdw      = 0x21
+	pcLdl      = 0x22
+	pcLdq      = 0x23
+	pcStb      = 0x28
+	pcStw      = 0x29
+	pcStl      = 0x2A
+	pcStq      = 0x2B
+	pcBr       = 0x30
+	pcBsr      = 0x31
+	pcBeq      = 0x32
+	pcBne      = 0x33
+	pcBlt      = 0x34
+	pcBge      = 0x35
+	pcBle      = 0x36
+	pcBgt      = 0x37
+	pcBlbc     = 0x38
+	pcBlbs     = 0x39
+	pcCodeword = 0x3C
+	pcDise     = 0x3E
+)
+
+// misc func codes (P format imm field).
+const (
+	miscNop  = 0
+	miscHalt = 1
+	miscTrap = 2
+	miscBrk  = 3
+)
+
+// operate func codes.
+const (
+	fnAddq   = 0x00
+	fnSubq   = 0x01
+	fnMulq   = 0x02
+	fnCmpeq  = 0x10
+	fnCmplt  = 0x11
+	fnCmple  = 0x12
+	fnCmpult = 0x13
+	fnCmpule = 0x14
+
+	fnAnd   = 0x00
+	fnBis   = 0x01
+	fnXor   = 0x02
+	fnBic   = 0x03
+	fnOrnot = 0x04
+
+	fnSll = 0x00
+	fnSrl = 0x01
+	fnSra = 0x02
+)
+
+// jump func codes.
+const (
+	jfJmp = 0
+	jfJsr = 1
+	jfRet = 2
+)
+
+// DISE group func codes.
+const (
+	dfDbeq   = 0
+	dfDbne   = 1
+	dfDcall  = 2
+	dfDccall = 3
+	dfDret   = 4
+	dfDmfr   = 5
+	dfDmtr   = 6
+)
+
+type encSpec struct {
+	primary uint32
+	fn      uint32
+}
+
+var encByOp = map[Op]encSpec{
+	OpNop:   {pcMisc, miscNop},
+	OpHalt:  {pcMisc, miscHalt},
+	OpTrap:  {pcMisc, miscTrap},
+	OpBrk:   {pcMisc, miscBrk},
+	OpCtrap: {pcCtrap, 0},
+
+	OpLda:  {pcLda, 0},
+	OpLdah: {pcLdah, 0},
+	OpLdbu: {pcLdbu, 0},
+	OpLdw:  {pcLdw, 0},
+	OpLdl:  {pcLdl, 0},
+	OpLdq:  {pcLdq, 0},
+	OpStb:  {pcStb, 0},
+	OpStw:  {pcStw, 0},
+	OpStl:  {pcStl, 0},
+	OpStq:  {pcStq, 0},
+
+	OpAddq:   {pcInta, fnAddq},
+	OpSubq:   {pcInta, fnSubq},
+	OpMulq:   {pcInta, fnMulq},
+	OpCmpeq:  {pcInta, fnCmpeq},
+	OpCmplt:  {pcInta, fnCmplt},
+	OpCmple:  {pcInta, fnCmple},
+	OpCmpult: {pcInta, fnCmpult},
+	OpCmpule: {pcInta, fnCmpule},
+
+	OpAnd:   {pcIntl, fnAnd},
+	OpBis:   {pcIntl, fnBis},
+	OpXor:   {pcIntl, fnXor},
+	OpBic:   {pcIntl, fnBic},
+	OpOrnot: {pcIntl, fnOrnot},
+
+	OpSll: {pcInts, fnSll},
+	OpSrl: {pcInts, fnSrl},
+	OpSra: {pcInts, fnSra},
+
+	OpBr:   {pcBr, 0},
+	OpBsr:  {pcBsr, 0},
+	OpBeq:  {pcBeq, 0},
+	OpBne:  {pcBne, 0},
+	OpBlt:  {pcBlt, 0},
+	OpBge:  {pcBge, 0},
+	OpBle:  {pcBle, 0},
+	OpBgt:  {pcBgt, 0},
+	OpBlbc: {pcBlbc, 0},
+	OpBlbs: {pcBlbs, 0},
+
+	OpJmp: {pcJmpGrp, jfJmp},
+	OpJsr: {pcJmpGrp, jfJsr},
+	OpRet: {pcJmpGrp, jfRet},
+
+	OpCodeword: {pcCodeword, 0},
+
+	OpDbeq:   {pcDise, dfDbeq},
+	OpDbne:   {pcDise, dfDbne},
+	OpDcall:  {pcDise, dfDcall},
+	OpDccall: {pcDise, dfDccall},
+	OpDret:   {pcDise, dfDret},
+	OpDmfr:   {pcDise, dfDmfr},
+	OpDmtr:   {pcDise, dfDmtr},
+}
+
+func fitsSigned(v int64, bits uint) bool {
+	lim := int64(1) << (bits - 1)
+	return v >= -lim && v < lim
+}
+
+// Encode packs an instruction into its 32-bit binary form. Instructions
+// whose operands reference DISE registers (other than the DISE-group rb
+// fields) cannot be encoded; they exist only inside the DISE engine.
+func Encode(i Inst) (uint32, error) {
+	spec, ok := encByOp[i.Op]
+	if !ok {
+		return 0, fmt.Errorf("isa: cannot encode opcode %v", i.Op)
+	}
+	diseRB := i.Op == OpDcall || i.Op == OpDccall || i.Op == OpDmfr || i.Op == OpDmtr
+	if i.RASp != AppSpace || i.RCSp != AppSpace || (i.RBSp != AppSpace && !diseRB) {
+		return 0, fmt.Errorf("isa: %v references DISE registers and has no binary encoding", i)
+	}
+	w := spec.primary << 26
+	switch i.Op.Class() {
+	case ClassLoad, ClassStore:
+		if !fitsSigned(i.Imm, 16) {
+			return 0, fmt.Errorf("isa: %v displacement %d out of range", i.Op, i.Imm)
+		}
+		w |= uint32(i.RA&31)<<21 | uint32(i.RB&31)<<16 | uint32(uint16(i.Imm))
+	case ClassBranch:
+		if !fitsSigned(i.Imm, 21) {
+			return 0, fmt.Errorf("isa: %v offset %d out of range", i.Op, i.Imm)
+		}
+		w |= uint32(i.RA&31)<<21 | (uint32(i.Imm) & 0x1FFFFF)
+	case ClassJump:
+		switch i.Op {
+		case OpBr, OpBsr:
+			if !fitsSigned(i.Imm, 21) {
+				return 0, fmt.Errorf("isa: %v offset %d out of range", i.Op, i.Imm)
+			}
+			w |= uint32(i.RA&31)<<21 | (uint32(i.Imm) & 0x1FFFFF)
+		default:
+			w |= uint32(i.RA&31)<<21 | uint32(i.RB&31)<<16 | spec.fn<<14
+		}
+	case ClassTrap:
+		if i.Op == OpCtrap {
+			w |= uint32(i.RA&31) << 21
+			w |= uint32(i.Imm) & 0x1FFFFF
+		} else {
+			w |= spec.fn
+		}
+	case ClassNop, ClassHalt:
+		if i.Op == OpCodeword {
+			if i.Imm < 0 || i.Imm >= 1<<26 {
+				return 0, fmt.Errorf("isa: codeword payload %d out of range", i.Imm)
+			}
+			w |= uint32(i.Imm)
+		} else {
+			w |= spec.fn
+		}
+	case ClassDise:
+		if !fitsSigned(i.Imm, 11) {
+			return 0, fmt.Errorf("isa: %v offset %d out of range", i.Op, i.Imm)
+		}
+		w |= uint32(i.RA&31)<<21 | uint32(i.RB&31)<<16 | spec.fn<<11 | (uint32(i.Imm) & 0x7FF)
+	default: // operate
+		switch i.Op {
+		case OpLda, OpLdah:
+			if !fitsSigned(i.Imm, 16) {
+				return 0, fmt.Errorf("isa: %v displacement %d out of range", i.Op, i.Imm)
+			}
+			w |= uint32(i.RA&31)<<21 | uint32(i.RB&31)<<16 | uint32(uint16(i.Imm))
+		case OpDmfr, OpDmtr:
+			w |= uint32(i.RA&31)<<21 | uint32(i.RB&15)<<16 | spec.fn<<11
+			if i.Op == OpDmfr {
+				w |= uint32(i.RC & 31)
+			}
+			// d_mfr/d_mtr live in the DISE primary group.
+			w = (w &^ (0x3F << 26)) | pcDise<<26
+		default:
+			if i.UseImm {
+				if i.Imm < 0 || i.Imm > 255 {
+					return 0, fmt.Errorf("isa: %v literal %d out of range", i.Op, i.Imm)
+				}
+				w |= uint32(i.RA&31)<<21 | uint32(i.Imm&0xFF)<<13 | 1<<12 | spec.fn<<5 | uint32(i.RC&31)
+			} else {
+				w |= uint32(i.RA&31)<<21 | uint32(i.RB&31)<<16 | spec.fn<<5 | uint32(i.RC&31)
+			}
+		}
+	}
+	return w, nil
+}
+
+func signExtend(v uint32, bits uint) int64 {
+	shift := 64 - bits
+	return int64(uint64(v)<<shift) >> shift
+}
+
+// Decode unpacks a 32-bit instruction word. Unknown encodings decode to a
+// trap instruction with code -1 so that executing garbage is precise and
+// visible rather than silent.
+func Decode(w uint32) Inst {
+	primary := w >> 26
+	ra := Reg((w >> 21) & 31)
+	rb := Reg((w >> 16) & 31)
+	switch primary {
+	case pcMisc:
+		switch w & 0x3FFFFFF {
+		case miscNop:
+			return Inst{Op: OpNop}
+		case miscHalt:
+			return Inst{Op: OpHalt}
+		case miscTrap:
+			return Inst{Op: OpTrap}
+		case miscBrk:
+			return Inst{Op: OpBrk}
+		}
+	case pcCtrap:
+		return Inst{Op: OpCtrap, RA: ra, Imm: signExtend(w&0x1FFFFF, 21)}
+	case pcLda:
+		return Inst{Op: OpLda, RA: ra, RB: rb, Imm: signExtend(w&0xFFFF, 16)}
+	case pcLdah:
+		return Inst{Op: OpLdah, RA: ra, RB: rb, Imm: signExtend(w&0xFFFF, 16)}
+	case pcLdbu, pcLdw, pcLdl, pcLdq, pcStb, pcStw, pcStl, pcStq:
+		op := map[uint32]Op{
+			pcLdbu: OpLdbu, pcLdw: OpLdw, pcLdl: OpLdl, pcLdq: OpLdq,
+			pcStb: OpStb, pcStw: OpStw, pcStl: OpStl, pcStq: OpStq,
+		}[primary]
+		return Inst{Op: op, RA: ra, RB: rb, Imm: signExtend(w&0xFFFF, 16)}
+	case pcInta, pcIntl, pcInts:
+		fn := (w >> 5) & 0x7F
+		var op Op
+		var ok bool
+		switch primary {
+		case pcInta:
+			op, ok = map[uint32]Op{
+				fnAddq: OpAddq, fnSubq: OpSubq, fnMulq: OpMulq,
+				fnCmpeq: OpCmpeq, fnCmplt: OpCmplt, fnCmple: OpCmple,
+				fnCmpult: OpCmpult, fnCmpule: OpCmpule,
+			}[fn]
+		case pcIntl:
+			op, ok = map[uint32]Op{
+				fnAnd: OpAnd, fnBis: OpBis, fnXor: OpXor, fnBic: OpBic, fnOrnot: OpOrnot,
+			}[fn]
+		case pcInts:
+			op, ok = map[uint32]Op{fnSll: OpSll, fnSrl: OpSrl, fnSra: OpSra}[fn]
+		}
+		if !ok {
+			break
+		}
+		rc := Reg(w & 31)
+		if w&(1<<12) != 0 {
+			return Inst{Op: op, RA: ra, RC: rc, Imm: int64((w >> 13) & 0xFF), UseImm: true}
+		}
+		return Inst{Op: op, RA: ra, RB: rb, RC: rc}
+	case pcJmpGrp:
+		switch (w >> 14) & 3 {
+		case jfJmp:
+			return Inst{Op: OpJmp, RA: ra, RB: rb}
+		case jfJsr:
+			return Inst{Op: OpJsr, RA: ra, RB: rb}
+		case jfRet:
+			return Inst{Op: OpRet, RA: ra, RB: rb}
+		}
+	case pcBr, pcBsr, pcBeq, pcBne, pcBlt, pcBge, pcBle, pcBgt, pcBlbc, pcBlbs:
+		op := map[uint32]Op{
+			pcBr: OpBr, pcBsr: OpBsr, pcBeq: OpBeq, pcBne: OpBne,
+			pcBlt: OpBlt, pcBge: OpBge, pcBle: OpBle, pcBgt: OpBgt,
+			pcBlbc: OpBlbc, pcBlbs: OpBlbs,
+		}[primary]
+		return Inst{Op: op, RA: ra, Imm: signExtend(w&0x1FFFFF, 21)}
+	case pcCodeword:
+		return Inst{Op: OpCodeword, Imm: int64(w & 0x3FFFFFF)}
+	case pcDise:
+		fn := (w >> 11) & 31
+		imm := signExtend(w&0x7FF, 11)
+		switch fn {
+		case dfDbeq:
+			return Inst{Op: OpDbeq, RA: ra, Imm: imm}
+		case dfDbne:
+			return Inst{Op: OpDbne, RA: ra, Imm: imm}
+		case dfDcall:
+			return Inst{Op: OpDcall, RB: rb & 15, RBSp: DiseSpace}
+		case dfDccall:
+			return Inst{Op: OpDccall, RA: ra, RB: rb & 15, RBSp: DiseSpace}
+		case dfDret:
+			return Inst{Op: OpDret}
+		case dfDmfr:
+			return Inst{Op: OpDmfr, RB: rb & 15, RBSp: DiseSpace, RC: Reg(w & 31)}
+		case dfDmtr:
+			return Inst{Op: OpDmtr, RA: ra, RB: rb & 15, RBSp: DiseSpace}
+		}
+	}
+	return Inst{Op: OpTrap, Imm: -1} // illegal instruction
+}

@@ -1,0 +1,127 @@
+package isa
+
+import "fmt"
+
+// Pure functional semantics for ALU and branch operations. The simulator
+// reads operands, calls these, and writes results; memory and control
+// sequencing live in internal/pipeline.
+
+func boolToU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ALU computes the result of an operate-class instruction given its two
+// source operands (a = RA, b = RB or the literal). It panics on opcodes
+// that are not operate-class; the pipeline never routes others here.
+func ALU(op Op, a, b uint64) uint64 {
+	switch op {
+	case OpAddq:
+		return a + b
+	case OpSubq:
+		return a - b
+	case OpMulq:
+		return a * b
+	case OpCmpeq:
+		return boolToU64(a == b)
+	case OpCmplt:
+		return boolToU64(int64(a) < int64(b))
+	case OpCmple:
+		return boolToU64(int64(a) <= int64(b))
+	case OpCmpult:
+		return boolToU64(a < b)
+	case OpCmpule:
+		return boolToU64(a <= b)
+	case OpAnd:
+		return a & b
+	case OpBis:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpBic:
+		return a &^ b
+	case OpOrnot:
+		return a | ^b
+	case OpSll:
+		return a << (b & 63)
+	case OpSrl:
+		return a >> (b & 63)
+	case OpSra:
+		return uint64(int64(a) >> (b & 63))
+	}
+	panic(fmt.Sprintf("isa: ALU called with non-ALU opcode %v", op))
+}
+
+// BranchTaken evaluates a conditional branch (or DISE branch) given the
+// value of its test register.
+func BranchTaken(op Op, a uint64) bool {
+	switch op {
+	case OpBeq, OpDbeq:
+		return a == 0
+	case OpBne, OpDbne:
+		return a != 0
+	case OpBlt:
+		return int64(a) < 0
+	case OpBge:
+		return int64(a) >= 0
+	case OpBle:
+		return int64(a) <= 0
+	case OpBgt:
+		return int64(a) > 0
+	case OpBlbc:
+		return a&1 == 0
+	case OpBlbs:
+		return a&1 == 1
+	}
+	panic(fmt.Sprintf("isa: BranchTaken called with non-branch opcode %v", op))
+}
+
+// EffAddr computes the effective address of a memory operation.
+func EffAddr(base uint64, disp int64) uint64 { return base + uint64(disp) }
+
+// BranchTarget computes the target of a PC-relative branch: offsets are in
+// instruction words relative to the instruction after the branch, as on
+// Alpha.
+func BranchTarget(pc uint64, offsetWords int64) uint64 {
+	return pc + 4 + uint64(offsetWords)*4
+}
+
+// LdaResult computes lda/ldah results.
+func LdaResult(op Op, base uint64, disp int64) uint64 {
+	if op == OpLdah {
+		return base + uint64(disp)<<16
+	}
+	return base + uint64(disp)
+}
+
+// SignExtendLoad narrows/extends a raw little-endian load value per opcode:
+// ldl sign-extends 32→64 bits; ldw and ldbu zero-extend (ldw is unsigned in
+// this ISA, a simplification noted in the assembler docs).
+func SignExtendLoad(op Op, v uint64) uint64 {
+	switch op {
+	case OpLdbu:
+		return v & 0xFF
+	case OpLdw:
+		return v & 0xFFFF
+	case OpLdl:
+		return uint64(int64(int32(uint32(v))))
+	default:
+		return v
+	}
+}
+
+// StoreValue narrows a register value to the stored width.
+func StoreValue(op Op, v uint64) uint64 {
+	switch op {
+	case OpStb:
+		return v & 0xFF
+	case OpStw:
+		return v & 0xFFFF
+	case OpStl:
+		return v & 0xFFFFFFFF
+	default:
+		return v
+	}
+}

@@ -1,0 +1,257 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// encodableOps are the opcodes that have a binary form with app-register
+// operands only.
+var encodableOps = []Op{
+	OpNop, OpHalt, OpTrap, OpBrk, OpCtrap,
+	OpLda, OpLdah,
+	OpLdbu, OpLdw, OpLdl, OpLdq,
+	OpStb, OpStw, OpStl, OpStq,
+	OpAddq, OpSubq, OpMulq, OpCmpeq, OpCmplt, OpCmple, OpCmpult, OpCmpule,
+	OpAnd, OpBis, OpXor, OpBic, OpOrnot,
+	OpSll, OpSrl, OpSra,
+	OpBr, OpBsr, OpBeq, OpBne, OpBlt, OpBge, OpBle, OpBgt, OpBlbc, OpBlbs,
+	OpJmp, OpJsr, OpRet,
+	OpCodeword,
+	OpDbeq, OpDbne, OpDcall, OpDccall, OpDret, OpDmfr, OpDmtr,
+}
+
+// randInst produces a random, encodable instruction for property testing.
+func randInst(r *rand.Rand) Inst {
+	op := encodableOps[r.Intn(len(encodableOps))]
+	i := Inst{Op: op}
+	reg := func() Reg { return Reg(r.Intn(32)) }
+	dreg := func() Reg { return Reg(r.Intn(16)) }
+	simm := func(bits uint) int64 {
+		lim := int64(1) << (bits - 1)
+		return r.Int63n(2*lim) - lim
+	}
+	switch op.Class() {
+	case ClassLoad, ClassStore:
+		i.RA, i.RB, i.Imm = reg(), reg(), simm(16)
+	case ClassBranch:
+		i.RA, i.Imm = reg(), simm(21)
+	case ClassJump:
+		if op == OpBr || op == OpBsr {
+			i.RA, i.Imm = reg(), simm(21)
+		} else {
+			i.RA, i.RB = reg(), reg()
+		}
+	case ClassTrap:
+		if op == OpCtrap {
+			i.RA, i.Imm = reg(), r.Int63n(1<<20)
+		}
+	case ClassNop, ClassHalt:
+		if op == OpCodeword {
+			i.Imm = r.Int63n(1 << 26)
+		}
+	case ClassDise:
+		switch op {
+		case OpDbeq, OpDbne:
+			i.RA, i.Imm = reg(), simm(11)
+		case OpDcall:
+			i.RB, i.RBSp = dreg(), DiseSpace
+		case OpDccall:
+			i.RA, i.RB, i.RBSp = reg(), dreg(), DiseSpace
+		}
+	default: // operate
+		switch op {
+		case OpLda, OpLdah:
+			i.RA, i.RB, i.Imm = reg(), reg(), simm(16)
+		case OpDmfr:
+			i.RB, i.RBSp, i.RC = dreg(), DiseSpace, reg()
+		case OpDmtr:
+			i.RA, i.RB, i.RBSp = reg(), dreg(), DiseSpace
+		default:
+			i.RA, i.RC = reg(), reg()
+			if r.Intn(2) == 0 {
+				i.UseImm, i.Imm = true, r.Int63n(256)
+			} else {
+				i.RB = reg()
+			}
+		}
+	}
+	return i
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInst(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Logf("encode %v: %v", in, err)
+			return false
+		}
+		out := Decode(w)
+		if in != out {
+			t.Logf("round trip mismatch:\n in=%#v\nout=%#v\nword=%08x", in, out, w)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeIllegal(t *testing.T) {
+	// Words with unassigned primary opcodes must decode to a trap with
+	// code -1 so that executing garbage is precise, not silent.
+	for _, w := range []uint32{0xFFFFFFFF, 0x0C000000, 0x3F << 26, 0x07 << 26} {
+		got := Decode(w)
+		if got.Op != OpTrap || got.Imm != -1 {
+			t.Errorf("Decode(%08x) = %v, want illegal-instruction trap", w, got)
+		}
+	}
+}
+
+func TestALUSemantics(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want uint64
+	}{
+		{OpAddq, 3, 4, 7},
+		{OpAddq, ^uint64(0), 1, 0},
+		{OpSubq, 3, 4, ^uint64(0)},
+		{OpMulq, 7, 6, 42},
+		{OpCmpeq, 5, 5, 1},
+		{OpCmpeq, 5, 6, 0},
+		{OpCmplt, ^uint64(0), 0, 1}, // -1 < 0 signed
+		{OpCmpult, ^uint64(0), 0, 0},
+		{OpCmple, 4, 4, 1},
+		{OpCmpule, 5, 4, 0},
+		{OpAnd, 0xF0, 0x3C, 0x30},
+		{OpBis, 0xF0, 0x0F, 0xFF},
+		{OpXor, 0xFF, 0x0F, 0xF0},
+		{OpBic, 0xFF, 0x0F, 0xF0},
+		{OpOrnot, 0, 0, ^uint64(0)},
+		{OpSll, 1, 63, 1 << 63},
+		{OpSrl, 1 << 63, 63, 1},
+		{OpSra, 1 << 63, 63, ^uint64(0)},
+		{OpSll, 1, 64, 1}, // shift counts are mod 64
+	}
+	for _, c := range cases {
+		if got := ALU(c.op, c.a, c.b); got != c.want {
+			t.Errorf("ALU(%v, %#x, %#x) = %#x, want %#x", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBranchSemantics(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a    uint64
+		want bool
+	}{
+		{OpBeq, 0, true},
+		{OpBeq, 1, false},
+		{OpBne, 1, true},
+		{OpBlt, ^uint64(0), true},
+		{OpBge, 0, true},
+		{OpBle, 0, true},
+		{OpBgt, 1, true},
+		{OpBlbc, 2, true},
+		{OpBlbs, 3, true},
+		{OpDbeq, 0, true},
+		{OpDbne, 5, true},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.a); got != c.want {
+			t.Errorf("BranchTaken(%v, %d) = %v, want %v", c.op, c.a, got, c.want)
+		}
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	if got := BranchTarget(0x1000, 0); got != 0x1004 {
+		t.Errorf("fallthrough target = %#x, want 0x1004", got)
+	}
+	if got := BranchTarget(0x1000, -1); got != 0x1000 {
+		t.Errorf("self-loop target = %#x, want 0x1000", got)
+	}
+	if got := BranchTarget(0x1000, 3); got != 0x1010 {
+		t.Errorf("forward target = %#x, want 0x1010", got)
+	}
+}
+
+func TestLoadStoreNarrowing(t *testing.T) {
+	v := uint64(0x8899AABBCCDDEEFF)
+	if got := SignExtendLoad(OpLdbu, v); got != 0xFF {
+		t.Errorf("ldbu = %#x", got)
+	}
+	if got := SignExtendLoad(OpLdw, v); got != 0xEEFF {
+		t.Errorf("ldw = %#x", got)
+	}
+	if got := SignExtendLoad(OpLdl, v); got != 0xFFFFFFFFCCDDEEFF {
+		t.Errorf("ldl = %#x, want sign extension", got)
+	}
+	if got := SignExtendLoad(OpLdq, v); got != v {
+		t.Errorf("ldq = %#x", got)
+	}
+	if got := StoreValue(OpStb, v); got != 0xFF {
+		t.Errorf("stb = %#x", got)
+	}
+	if got := StoreValue(OpStl, v); got != 0xCCDDEEFF {
+		t.Errorf("stl = %#x", got)
+	}
+}
+
+func TestSrcsAndDst(t *testing.T) {
+	// stq r4, 32(sp): sources r4 and sp, no dest.
+	st := Inst{Op: OpStq, RA: R4, RB: SP, Imm: 32}
+	srcs := st.Srcs(nil)
+	if len(srcs) != 2 || srcs[0].Reg != R4 || srcs[1].Reg != SP {
+		t.Errorf("stq srcs = %v", srcs)
+	}
+	if _, ok := st.Dst(); ok {
+		t.Error("stq should have no dest")
+	}
+	// ldq r4, 0(r5): source r5, dest r4.
+	ld := Inst{Op: OpLdq, RA: R4, RB: R5}
+	if d, ok := ld.Dst(); !ok || d.Reg != R4 {
+		t.Errorf("ldq dst = %v, %v", d, ok)
+	}
+	// addq with zero-register dest has no architectural dest.
+	add := Inst{Op: OpAddq, RA: R1, RB: R2, RC: Zero}
+	if _, ok := add.Dst(); ok {
+		t.Error("addq to zero register should have no dest")
+	}
+	// Sources through the zero register are omitted.
+	add2 := Inst{Op: OpAddq, RA: Zero, RB: R2, RC: R3}
+	srcs = add2.Srcs(nil)
+	if len(srcs) != 1 || srcs[0].Reg != R2 {
+		t.Errorf("addq zero src list = %v", srcs)
+	}
+	// DISE-space destination counts even for register 31's index.
+	dmtr := Inst{Op: OpDmtr, RA: R7, RB: DAR, RBSp: DiseSpace}
+	if d, ok := dmtr.Dst(); !ok || d.Space != DiseSpace || d.Reg != DAR {
+		t.Errorf("d_mtr dst = %v, %v", d, ok)
+	}
+}
+
+func TestDisasmSmoke(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpLdq, RA: R4, RB: SP, Imm: 32}, "ldq r4, 32(sp)"},
+		{Inst{Op: OpAddq, RA: SP, Imm: 8, UseImm: true, RC: DR0, RCSp: DiseSpace}, "addq sp, #8, dr0"},
+		{Inst{Op: OpDccall, RA: DR1, RASp: DiseSpace, RB: DHDLR, RBSp: DiseSpace}, "d_ccall dr1, dhdlr"},
+		{Inst{Op: OpCtrap, RA: DR1, RASp: DiseSpace}, "ctrap dr1"},
+		{Inst{Op: OpDbne, RA: DR1, RASp: DiseSpace, Imm: 1}, "d_bne dr1, +1"},
+		{Inst{Op: OpRet, RB: RA}, "ret (ra)"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

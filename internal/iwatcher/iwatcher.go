@@ -1,0 +1,186 @@
+// Package iwatcher implements an iWatcher-style programmatic monitoring
+// interface (Zhou et al., ISCA 2004) on top of the DISE engine. The
+// paper's §6 argues the two mechanisms are interchangeable: "we could
+// easily replace the iWatcher implementation with DISE — (almost)
+// anything one can do in hardware can also be done in software". This
+// package is that replacement: programs register memory regions and
+// callback functions; a generated store production range-checks every
+// store and conditionally calls a dispatcher that invokes the registered
+// callback inside the application, with no process switch.
+//
+// Callback convention: the callback is application code, entered with the
+// store's effective address in r16 and expected to return with `ret (ra)`.
+// It runs inside a DISE-called function context (expansion disabled), must
+// not rely on the stack pointer, and must preserve any registers it uses
+// beyond r16-r18.
+package iwatcher
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/dise"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// Region is one monitored address range with its callback.
+type Region struct {
+	Base    uint64
+	Len     uint64
+	Handler uint64 // application PC of the callback
+}
+
+// MaxRegions bounds the serial range-check sequence: region bounds occupy
+// DISE register pairs dr4/dr5, dr6/dr7, dr8/dr9 (dr10 holds the dispatcher
+// address). Beyond a few regions the Bloom strategies of internal/debug
+// are the right tool.
+const MaxRegions = 3
+
+// Watcher generates and installs the monitoring productions.
+type Watcher struct {
+	m         *machine.Machine
+	regions   []Region
+	installed bool
+
+	dispatcher uint64
+	prod       *dise.Production
+}
+
+// New creates a watcher for a loaded machine.
+func New(m *machine.Machine) *Watcher {
+	return &Watcher{m: m}
+}
+
+// WatchRange registers a region with its callback. Must precede Install.
+func (w *Watcher) WatchRange(base, length, handlerPC uint64) error {
+	if w.installed {
+		return fmt.Errorf("iwatcher: WatchRange after Install")
+	}
+	if length == 0 {
+		return fmt.Errorf("iwatcher: empty region")
+	}
+	if len(w.regions) >= MaxRegions {
+		return fmt.Errorf("iwatcher: at most %d regions", MaxRegions)
+	}
+	w.regions = append(w.regions, Region{Base: base, Len: length, Handler: handlerPC})
+	return nil
+}
+
+// loReg/hiReg return the DISE registers holding region i's bounds.
+func loReg(i int) isa.Reg { return isa.DR4 + isa.Reg(2*i) }
+func hiReg(i int) isa.Reg { return isa.DR5 + isa.Reg(2*i) }
+
+// Install generates the dispatcher, seeds the DISE registers with region
+// bounds, and installs the store production.
+func (w *Watcher) Install() error {
+	if w.installed {
+		return fmt.Errorf("iwatcher: double Install")
+	}
+	if len(w.regions) == 0 {
+		return fmt.Errorf("iwatcher: no regions")
+	}
+
+	code, err := w.buildDispatcher()
+	if err != nil {
+		return err
+	}
+	w.dispatcher = w.m.AppendText(code)
+	w.m.Engine.Regs[isa.DHDLR] = w.dispatcher
+	for i, r := range w.regions {
+		w.m.Engine.Regs[loReg(i)] = r.Base
+		w.m.Engine.Regs[hiReg(i)] = r.Base + r.Len
+	}
+
+	// Replacement sequence: t2 accumulates "address in any region".
+	t1 := dise.DReg(isa.DR1)
+	t2 := dise.DReg(isa.DR2)
+	t3 := dise.DReg(isa.DR3)
+	tmp := dise.DReg(isa.DR12)
+	seq := []dise.TemplateInst{
+		dise.TInst(),
+		dise.LdaTImmTRS1(t1),
+	}
+	for i := range w.regions {
+		lo, hi := dise.DReg(loReg(i)), dise.DReg(hiReg(i))
+		if i == 0 {
+			seq = append(seq,
+				dise.Op3T(isa.OpCmpule, lo, t1, t2),
+				dise.Op3T(isa.OpCmpult, t1, hi, t3),
+				dise.Op3T(isa.OpAnd, t2, t3, t2),
+			)
+			continue
+		}
+		seq = append(seq,
+			dise.Op3T(isa.OpCmpule, lo, t1, t3),
+			dise.Op3T(isa.OpCmpult, t1, hi, tmp),
+			dise.Op3T(isa.OpAnd, t3, tmp, t3),
+			dise.Op3T(isa.OpBis, t2, t3, t2),
+		)
+	}
+	seq = append(seq, dise.DCCallT(t2, isa.DHDLR))
+
+	w.prod = &dise.Production{
+		Name:        "iwatcher",
+		Pattern:     dise.MatchClass(isa.ClassStore),
+		Replacement: seq,
+	}
+	if err := w.m.Engine.Install(w.prod); err != nil {
+		return err
+	}
+	w.installed = true
+	return nil
+}
+
+// Uninstall removes the monitoring production; regions stay registered, so
+// Install can re-arm it (the enable/disable agility §4.4 highlights).
+func (w *Watcher) Uninstall() {
+	if w.prod != nil && w.installed {
+		w.m.Engine.Remove(w.prod)
+		w.installed = false
+	}
+}
+
+// buildDispatcher generates the DISE-called function: it re-derives the
+// store address from dr1, finds the matching region, and calls its
+// handler with the address in r16.
+func (w *Watcher) buildDispatcher() ([]uint32, error) {
+	base := w.m.NextTextAppend()
+	b := asm.NewAt(base, 0)
+	const (
+		rAddr = isa.R16 // callback argument: store address
+		rTmp  = isa.R17
+		rTmp2 = isa.R18
+	)
+	// Stash clobbered registers in DISE scratch space (no stack use). The
+	// sequence temporaries dr1-dr3/dr12 are dead once the call issues.
+	b.Emit(isa.Inst{Op: isa.OpDmtr, RA: rAddr, RB: isa.DR2, RBSp: isa.DiseSpace})
+	b.Emit(isa.Inst{Op: isa.OpDmtr, RA: rTmp, RB: isa.DR3, RBSp: isa.DiseSpace})
+	b.Emit(isa.Inst{Op: isa.OpDmtr, RA: rTmp2, RB: isa.DR13, RBSp: isa.DiseSpace})
+	b.Emit(isa.Inst{Op: isa.OpDmtr, RA: isa.RA, RB: isa.DR12, RBSp: isa.DiseSpace})
+	b.Emit(isa.Inst{Op: isa.OpDmfr, RB: isa.DR1, RBSp: isa.DiseSpace, RC: rAddr})
+	for i, r := range w.regions {
+		next := fmt.Sprintf("r%d_next", i)
+		b.Li32(rTmp, int64(r.Base))
+		b.Op3(isa.OpCmpule, rTmp, rAddr, rTmp)
+		b.CondBr(isa.OpBeq, rTmp, next)
+		b.Li32(rTmp, int64(r.Base+r.Len))
+		b.Op3(isa.OpCmpult, rAddr, rTmp, rTmp)
+		b.CondBr(isa.OpBeq, rTmp, next)
+		b.Li32(rTmp2, int64(r.Handler))
+		b.Jsr(isa.RA, rTmp2)
+		b.Br("out")
+		b.Label(next)
+	}
+	b.Label("out")
+	b.Emit(isa.Inst{Op: isa.OpDmfr, RB: isa.DR12, RBSp: isa.DiseSpace, RC: isa.RA})
+	b.Emit(isa.Inst{Op: isa.OpDmfr, RB: isa.DR13, RBSp: isa.DiseSpace, RC: rTmp2})
+	b.Emit(isa.Inst{Op: isa.OpDmfr, RB: isa.DR3, RBSp: isa.DiseSpace, RC: rTmp})
+	b.Emit(isa.Inst{Op: isa.OpDmfr, RB: isa.DR2, RBSp: isa.DiseSpace, RC: rAddr})
+	b.Emit(isa.Inst{Op: isa.OpDret})
+	p, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return p.Text, nil
+}

@@ -1,0 +1,184 @@
+package iwatcher
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/machine"
+)
+
+// The monitored program writes into two arrays and one unrelated buffer;
+// per-region callbacks count writes into counters in simulated memory.
+const prog = `
+.data
+.align 8
+arrA:   .quad 0,0,0,0
+arrB:   .quad 0,0,0,0
+other:  .quad 0,0,0,0
+hitsA:  .quad 0
+hitsB:  .quad 0
+lastA:  .quad 0
+.text
+.entry main
+main:
+    la  r1, arrA
+    la  r2, arrB
+    la  r3, other
+    li  r4, 5
+loop:
+    stq r4, 8(r1)    ; arrA write
+    stq r4, 0(r3)    ; unmonitored
+    stq r4, 16(r2)   ; arrB write
+    stq r4, 0(r3)    ; unmonitored
+    subq r4, #1, r4
+    bne r4, loop
+    halt
+
+; callback for region A: count and record the address (argument in r16)
+onA:
+    la   r20, hitsA
+    ldq  r21, 0(r20)
+    addq r21, #1, r21
+    stq  r21, 0(r20)
+    la   r20, lastA
+    stq  r16, 0(r20)
+    ret  (ra)
+
+; callback for region B: count only
+onB:
+    la   r20, hitsB
+    ldq  r21, 0(r20)
+    addq r21, #1, r21
+    stq  r21, 0(r20)
+    ret  (ra)
+`
+
+func setup(t *testing.T) (*machine.Machine, *asm.Program, *Watcher) {
+	t.Helper()
+	p, err := asm.Assemble(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewDefault()
+	m.Load(p)
+	w := New(m)
+	return m, p, w
+}
+
+func TestCallbacksFirePerRegion(t *testing.T) {
+	m, p, w := setup(t)
+	if err := w.WatchRange(p.MustSymbol("arrA"), 32, p.MustSymbol("onA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WatchRange(p.MustSymbol("arrB"), 32, p.MustSymbol("onB")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Install(); err != nil {
+		t.Fatal(err)
+	}
+	m.MustRun(0)
+	if got := m.ReadQuad(p.MustSymbol("hitsA")); got != 5 {
+		t.Errorf("hitsA = %d, want 5", got)
+	}
+	if got := m.ReadQuad(p.MustSymbol("hitsB")); got != 5 {
+		t.Errorf("hitsB = %d, want 5", got)
+	}
+	// The callback received the faulting address.
+	if got := m.ReadQuad(p.MustSymbol("lastA")); got != p.MustSymbol("arrA")+8 {
+		t.Errorf("lastA = %#x, want %#x", got, p.MustSymbol("arrA")+8)
+	}
+	// Program results are unperturbed.
+	if got := m.ReadQuad(p.MustSymbol("arrA") + 8); got != 1 {
+		t.Errorf("arrA[1] = %d, want 1 (last loop value)", got)
+	}
+}
+
+// The callbacks' own stores (to hitsA/hitsB) land outside the monitored
+// regions, but even self-referential stores would be safe: expansion is
+// disabled inside the DISE-called dispatcher.
+func TestCallbackStoresDoNotRecurse(t *testing.T) {
+	m, p, w := setup(t)
+	// Monitor the hitsA counter itself with a callback that increments
+	// hitsB: if expansion were active inside the dispatcher this would
+	// ping-pong forever.
+	if err := w.WatchRange(p.MustSymbol("hitsA"), 8, p.MustSymbol("onB")); err != nil {
+		t.Fatal(err)
+	}
+	// And monitor arrA with the callback that writes hitsA.
+	if err := w.WatchRange(p.MustSymbol("arrA"), 32, p.MustSymbol("onA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Install(); err != nil {
+		t.Fatal(err)
+	}
+	m.MustRun(0)
+	// onA ran 5 times (writes hitsA); those writes happened inside the
+	// dispatcher context, so they did NOT trigger the hitsA region.
+	if got := m.ReadQuad(p.MustSymbol("hitsA")); got != 5 {
+		t.Errorf("hitsA = %d, want 5", got)
+	}
+	if got := m.ReadQuad(p.MustSymbol("hitsB")); got != 0 {
+		t.Errorf("hitsB = %d, want 0 (no recursion)", got)
+	}
+}
+
+func TestUninstallStopsMonitoring(t *testing.T) {
+	m, p, w := setup(t)
+	if err := w.WatchRange(p.MustSymbol("arrA"), 32, p.MustSymbol("onA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Install(); err != nil {
+		t.Fatal(err)
+	}
+	w.Uninstall()
+	m.MustRun(0)
+	if got := m.ReadQuad(p.MustSymbol("hitsA")); got != 0 {
+		t.Errorf("hitsA = %d after uninstall, want 0", got)
+	}
+}
+
+func TestRegionLimits(t *testing.T) {
+	_, p, w := setup(t)
+	for i := 0; i < MaxRegions; i++ {
+		if err := w.WatchRange(p.MustSymbol("arrA")+uint64(i*64), 8, p.MustSymbol("onA")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WatchRange(0x9000, 8, p.MustSymbol("onA")); err == nil {
+		t.Error("want region-limit error")
+	}
+	if err := w.WatchRange(0x9000, 0, p.MustSymbol("onA")); err == nil {
+		t.Error("want empty-region error")
+	}
+}
+
+func TestInstallValidation(t *testing.T) {
+	_, _, w := setup(t)
+	if err := w.Install(); err == nil {
+		t.Error("want no-regions error")
+	}
+}
+
+func TestMonitoringOverheadIsModest(t *testing.T) {
+	// Baseline vs monitored: the kernel's slowdown should stay within a
+	// small factor, the whole point of in-application monitoring.
+	p, err := asm.Assemble(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := machine.NewDefault()
+	base.Load(p)
+	baseSt := base.MustRun(0)
+
+	m, p2, w := setup(t)
+	if err := w.WatchRange(p2.MustSymbol("arrA"), 32, p2.MustSymbol("onA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Install(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.MustRun(0)
+	if ratio := float64(st.Cycles) / float64(baseSt.Cycles); ratio > 6 {
+		t.Errorf("monitoring slowdown = %.2f, want modest", ratio)
+	}
+}

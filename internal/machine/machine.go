@@ -1,0 +1,141 @@
+// Package machine composes the simulated processor: core, memory
+// hierarchy, branch predictor, DISE engine, and program loading. It is the
+// thing a debugger attaches to and the thing experiments run.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/dise"
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+)
+
+// Config aggregates the subsystem configurations.
+type Config struct {
+	Core  pipeline.Config
+	Cache cache.HierarchyConfig
+	Bpred bpred.Config
+	Dise  dise.Config
+}
+
+// DefaultConfig matches the paper's §5 simulated machine.
+func DefaultConfig() Config {
+	return Config{
+		Core:  pipeline.DefaultConfig(),
+		Cache: cache.DefaultConfig(),
+		Bpred: bpred.DefaultConfig(),
+		Dise:  dise.DefaultConfig(),
+	}
+}
+
+// Machine is one simulated processor plus its loaded program.
+type Machine struct {
+	Cfg     Config
+	Core    *pipeline.Core
+	Mem     *mem.Memory
+	Engine  *dise.Engine
+	Hier    *cache.Hierarchy
+	Program *asm.Program
+
+	textAppend uint64 // next free address for AppendText
+	dataAppend uint64 // next free address for AppendData
+}
+
+// New builds an empty machine.
+func New(cfg Config) *Machine {
+	m := mem.New()
+	hier := cache.NewHierarchy(cfg.Cache)
+	bp := bpred.New(cfg.Bpred)
+	eng := dise.NewEngine(cfg.Dise)
+	core := pipeline.New(cfg.Core, m, hier, bp, eng)
+	return &Machine{Cfg: cfg, Core: core, Mem: m, Engine: eng, Hier: hier}
+}
+
+// NewDefault builds a machine with the paper's configuration.
+func NewDefault() *Machine { return New(DefaultConfig()) }
+
+// Load copies a program image into memory, initializes the stack pointer,
+// and sets the entry point.
+func (m *Machine) Load(p *asm.Program) {
+	m.Program = p
+	for i, w := range p.Text {
+		m.Mem.Write(p.TextBase+uint64(i)*4, 4, uint64(w))
+	}
+	m.Mem.WriteBytes(p.DataBase, p.Data)
+	m.Core.Regs[30] = asm.DefaultStackTop // sp
+	m.Core.SetPC(p.Entry)
+}
+
+// Run executes until halt or the application-instruction budget.
+func (m *Machine) Run(maxAppInsts uint64) (pipeline.Stats, error) {
+	if m.Program == nil {
+		return pipeline.Stats{}, fmt.Errorf("machine: no program loaded")
+	}
+	err := m.Core.Run(maxAppInsts)
+	return m.Core.Stats(), err
+}
+
+// MustRun is Run for tests and experiments with known-good programs.
+func (m *Machine) MustRun(maxAppInsts uint64) pipeline.Stats {
+	st, err := m.Run(maxAppInsts)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// ReadQuad reads an 8-byte value from simulated memory (debugger
+// convenience).
+func (m *Machine) ReadQuad(addr uint64) uint64 { return m.Mem.Read(addr, 8) }
+
+// WriteQuad writes an 8-byte value to simulated memory.
+func (m *Machine) WriteQuad(addr, v uint64) { m.Mem.Write(addr, 8, v) }
+
+// NextTextAppend returns the address the next AppendText call will use,
+// so callers can assemble position-dependent code before appending it.
+func (m *Machine) NextTextAppend() uint64 {
+	if m.textAppend == 0 {
+		return m.Program.TextEnd() + 64
+	}
+	return m.textAppend
+}
+
+// AppendText appends encoded instructions after the current text segment
+// and returns their base address. The debugger uses this to install its
+// dynamically generated expression-evaluation function (paper §4.2).
+func (m *Machine) AppendText(words []uint32) uint64 {
+	if m.textAppend == 0 {
+		// Leave a small guard gap so straight-line app code cannot run
+		// into the appended function.
+		m.textAppend = m.Program.TextEnd() + 64
+	}
+	base := m.textAppend
+	for i, w := range words {
+		m.Mem.Write(base+uint64(i)*4, 4, uint64(w))
+	}
+	m.textAppend = base + uint64(len(words))*4 + 64
+	return base
+}
+
+// AppendData appends bytes after the current data segment, page-aligned,
+// and returns their base address. The debugger's watched-address tables,
+// previous-value slots, and Bloom filters live here (paper §4.2).
+func (m *Machine) AppendData(b []byte) uint64 {
+	if m.dataAppend == 0 {
+		// Skip one page so debugger data never shares a page with app
+		// data; the protection experiment (Figure 9) relies on the
+		// debugger region being distinct.
+		m.dataAppend = ((m.Program.DataEnd()+mem.PageSize-1)&^(mem.PageSize-1) + mem.PageSize)
+	}
+	base := m.dataAppend
+	m.Mem.WriteBytes(base, b)
+	m.dataAppend = (base + uint64(len(b)) + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	if m.dataAppend == base {
+		m.dataAppend += mem.PageSize
+	}
+	return base
+}

@@ -1,0 +1,86 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+)
+
+func TestLoadAndRun(t *testing.T) {
+	p, err := asm.Assemble(`
+.data
+x: .quad 41
+.text
+main:
+    la  r1, x
+    ldq r2, 0(r1)
+    addq r2, #1, r2
+    stq r2, 0(r1)
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewDefault()
+	m.Load(p)
+	st := m.MustRun(0)
+	if !st.Halted {
+		t.Fatal("did not halt")
+	}
+	if got := m.ReadQuad(p.MustSymbol("x")); got != 42 {
+		t.Errorf("x = %d", got)
+	}
+	if m.Core.Regs[30] != asm.DefaultStackTop {
+		t.Errorf("sp = %#x", m.Core.Regs[30])
+	}
+}
+
+func TestRunWithoutProgram(t *testing.T) {
+	m := NewDefault()
+	if _, err := m.Run(0); err == nil {
+		t.Error("want error without a program")
+	}
+}
+
+func TestAppendTextAndData(t *testing.T) {
+	p, err := asm.Assemble("main: halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewDefault()
+	m.Load(p)
+
+	next := m.NextTextAppend()
+	base1 := m.AppendText([]uint32{1, 2, 3})
+	if base1 != next {
+		t.Errorf("AppendText at %#x, NextTextAppend said %#x", base1, next)
+	}
+	base2 := m.AppendText([]uint32{4})
+	if base2 <= base1+8 {
+		t.Errorf("second append overlaps: %#x vs %#x", base2, base1)
+	}
+	if got := m.Mem.Read(base1+8, 4); got != 3 {
+		t.Errorf("text word = %d", got)
+	}
+
+	d1 := m.AppendData([]byte{0xAA})
+	d2 := m.AppendData([]byte{0xBB})
+	if d1%4096 != 0 || d2%4096 != 0 || d1 == d2 {
+		t.Errorf("data appends: %#x, %#x", d1, d2)
+	}
+	if m.Mem.Read(d1, 1) != 0xAA || m.Mem.Read(d2, 1) != 0xBB {
+		t.Error("data contents wrong")
+	}
+	// Appended data must be clear of the program's own pages.
+	if d1 < p.DataEnd() {
+		t.Errorf("append overlaps program data: %#x < %#x", d1, p.DataEnd())
+	}
+}
+
+func TestWriteQuad(t *testing.T) {
+	m := NewDefault()
+	m.WriteQuad(0x5000, 0x1234)
+	if m.ReadQuad(0x5000) != 0x1234 {
+		t.Error("round trip failed")
+	}
+}

@@ -1,0 +1,205 @@
+// Package mem provides the simulated memory system: a sparse, paged
+// physical memory and a page-permission table. The permission table plays
+// the role of the OS virtual-memory interface (mprotect) that the
+// virtual-memory watchpoint implementation is built on (paper §2):
+// removing write permission from a page makes every store to that page
+// fault precisely, and the debugger classifies the fault as a user
+// transition or a spurious address transition.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the simulated page size in bytes. The paper uses 4KB and
+// notes it is "on the small end for real systems" — i.e. favourable to the
+// virtual-memory implementation.
+const PageSize = 4096
+
+const pageShift = 12
+
+// Memory is a sparse 64-bit physical address space. The zero value is
+// ready to use. Memory is not safe for concurrent use; the simulator is
+// single-threaded by design.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[PageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice. Unmapped
+// bytes read as zero.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		p := m.page(addr+uint64(i), false)
+		off := int((addr + uint64(i)) & (PageSize - 1))
+		chunk := PageSize - off
+		if chunk > n-i {
+			chunk = n - i
+		}
+		if p != nil {
+			copy(out[i:i+chunk], p[off:off+chunk])
+		}
+		i += chunk
+	}
+	return out
+}
+
+// WriteBytes stores b starting at addr, allocating pages as needed.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for i := 0; i < len(b); {
+		p := m.page(addr+uint64(i), true)
+		off := int((addr + uint64(i)) & (PageSize - 1))
+		chunk := PageSize - off
+		if chunk > len(b)-i {
+			chunk = len(b) - i
+		}
+		copy(p[off:off+chunk], b[i:i+chunk])
+		i += chunk
+	}
+}
+
+// Read returns size bytes (1, 2, 4, or 8) at addr as a little-endian value.
+// Accesses may straddle page boundaries; alignment is not required.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	if off := int(addr & (PageSize - 1)); off+size <= PageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+	}
+	var buf [8]byte
+	copy(buf[:size], m.ReadBytes(addr, size))
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Write stores the low size bytes of v at addr, little-endian.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	if off := int(addr & (PageSize - 1)); off+size <= PageSize {
+		p := m.page(addr, true)
+		switch size {
+		case 1:
+			p[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return
+		}
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	m.WriteBytes(addr, buf[:size])
+}
+
+// ReadInst fetches the 32-bit instruction word at addr.
+func (m *Memory) ReadInst(addr uint64) uint32 { return uint32(m.Read(addr, 4)) }
+
+// MappedPages returns the sorted page numbers that have been touched;
+// useful in tests and for footprint statistics.
+func (m *Memory) MappedPages() []uint64 {
+	out := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		out = append(out, pn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PageOf returns the page number containing addr.
+func PageOf(addr uint64) uint64 { return addr >> pageShift }
+
+// PageBase returns the base address of the page containing addr.
+func PageBase(addr uint64) uint64 { return addr &^ (PageSize - 1) }
+
+// Protection is a page-permission table keyed by page number. Only write
+// protection matters to the debugger implementations, so that is all we
+// track. The zero value allows all writes.
+type Protection struct {
+	readOnly map[uint64]bool
+}
+
+// NewProtection returns an empty permission table.
+func NewProtection() *Protection {
+	return &Protection{readOnly: make(map[uint64]bool)}
+}
+
+// ProtectRange write-protects every page overlapping [addr, addr+length).
+func (p *Protection) ProtectRange(addr, length uint64) {
+	if length == 0 {
+		return
+	}
+	for pn := PageOf(addr); pn <= PageOf(addr+length-1); pn++ {
+		p.readOnly[pn] = true
+	}
+}
+
+// UnprotectRange restores write permission on every page overlapping
+// [addr, addr+length).
+func (p *Protection) UnprotectRange(addr, length uint64) {
+	if length == 0 {
+		return
+	}
+	for pn := PageOf(addr); pn <= PageOf(addr+length-1); pn++ {
+		delete(p.readOnly, pn)
+	}
+}
+
+// Clear removes all protections.
+func (p *Protection) Clear() {
+	p.readOnly = make(map[uint64]bool)
+}
+
+// WriteFaults reports whether a store of size bytes at addr would fault.
+func (p *Protection) WriteFaults(addr uint64, size int) bool {
+	if len(p.readOnly) == 0 {
+		return false
+	}
+	if size <= 0 {
+		size = 1
+	}
+	for pn := PageOf(addr); pn <= PageOf(addr+uint64(size)-1); pn++ {
+		if p.readOnly[pn] {
+			return true
+		}
+	}
+	return false
+}
+
+// ProtectedPages returns how many pages are currently write-protected.
+func (p *Protection) ProtectedPages() int { return len(p.readOnly) }
+
+func (p *Protection) String() string {
+	return fmt.Sprintf("protection{%d pages}", len(p.readOnly))
+}

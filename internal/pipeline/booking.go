@@ -1,0 +1,84 @@
+package pipeline
+
+// booking tracks per-cycle usage of a bandwidth-limited resource (function
+// units, cache ports, commit slots). It is a ring over absolute cycles:
+// each slot remembers which cycle it counts for, so stale entries expire
+// implicitly even after the long debugger-transition stalls.
+type booking struct {
+	cycle []uint64
+	count []uint16
+	limit uint16
+}
+
+func newBooking(limit int) *booking {
+	const ringSize = 1 << 14
+	return &booking{
+		cycle: make([]uint64, ringSize),
+		count: make([]uint16, ringSize),
+		limit: uint16(limit),
+	}
+}
+
+func (b *booking) at(c uint64) uint16 {
+	i := c & uint64(len(b.cycle)-1)
+	if b.cycle[i] != c {
+		return 0
+	}
+	return b.count[i]
+}
+
+func (b *booking) add(c uint64) {
+	i := c & uint64(len(b.cycle)-1)
+	if b.cycle[i] != c {
+		b.cycle[i] = c
+		b.count[i] = 0
+	}
+	b.count[i]++
+}
+
+// book reserves the first cycle >= earliest with free capacity and returns
+// it.
+func (b *booking) book(earliest uint64) uint64 {
+	c := earliest
+	for b.at(c) >= b.limit {
+		c++
+	}
+	b.add(c)
+	return c
+}
+
+// ring is a fixed-size history of cycle timestamps, used to model
+// structures whose occupancy limits dispatch (ROB, reservation stations,
+// load/store queue): entry i of a size-N structure is free once the
+// (i-N)th occupant released it.
+type ring struct {
+	buf  []uint64
+	head int
+	n    int
+}
+
+func newRing(size int) *ring {
+	return &ring{buf: make([]uint64, size)}
+}
+
+// push records a release time and returns the release time of the entry
+// being recycled (0 when the structure has never been full).
+func (r *ring) push(release uint64) (prevRelease uint64) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = release
+		r.n++
+		return 0
+	}
+	prev := r.buf[r.head]
+	r.buf[r.head] = release
+	r.head = (r.head + 1) % len(r.buf)
+	return prev
+}
+
+// oldest returns the oldest release time without modifying the ring.
+func (r *ring) oldest() (uint64, bool) {
+	if r.n < len(r.buf) {
+		return 0, false
+	}
+	return r.buf[r.head], true
+}

@@ -1,0 +1,160 @@
+// Package pipeline implements the cycle-level out-of-order core the
+// paper's evaluation runs on (§5): a dynamically scheduled 4-way
+// superscalar with a 12-stage pipeline, 128-entry reorder buffer, 80
+// reservation stations, hybrid branch prediction, and a DISE engine
+// between fetch and the execution engine.
+//
+// Simulation style: the functional architectural state advances in program
+// order as instructions are fetched (wrong paths are never executed), and
+// an event-driven timing model computes per-instruction fetch, dispatch,
+// issue, completion, and commit cycles subject to bandwidth, dependence,
+// occupancy, and port constraints. Control-flow and DISE-induced pipeline
+// flushes stall fetch until the redirecting instruction resolves, which is
+// how the paper's flush costs for DISE branches and calls arise.
+package pipeline
+
+import (
+	"repro/internal/isa"
+)
+
+// Config describes the core. Defaults follow the paper's §5 simulator.
+type Config struct {
+	Width         int // fetch/dispatch/issue/commit width
+	ROBSize       int
+	RSSize        int
+	LSQSize       int
+	FrontEndDepth int // cycles between fetch and dispatch readiness
+
+	IntALUs    int
+	IntMuls    int
+	MulLatency int
+	LoadPorts  int
+
+	// MTDiseCalls enables the §4 multithreading optimization: DISE-called
+	// function bodies run on a spare thread context, eliminating the
+	// call/return pipeline flushes (evaluated in Figure 8).
+	MTDiseCalls bool
+
+	// MaxUops bounds a run as a safety net against runaway programs.
+	MaxUops uint64
+}
+
+// DefaultConfig returns the paper's core configuration.
+func DefaultConfig() Config {
+	return Config{
+		Width:         4,
+		ROBSize:       128,
+		RSSize:        80,
+		LSQSize:       64,
+		FrontEndDepth: 6, // 12-stage pipe: half of it is in front of dispatch
+		IntALUs:       4,
+		IntMuls:       1,
+		MulLatency:    7,
+		LoadPorts:     2,
+		MaxUops:       2_000_000_000,
+	}
+}
+
+// TransitionKind classifies debugger transitions for the paper's
+// accounting (§2): transitions masked by user interaction are free; the
+// three spurious kinds are perceived as application latency.
+type TransitionKind uint8
+
+// Transition kinds.
+const (
+	TransNone TransitionKind = iota
+	TransUser                // leads to a user interaction; modeled free
+	TransSpuriousAddr
+	TransSpuriousValue
+	TransSpuriousPred
+)
+
+var transNames = [...]string{"none", "user", "spurious-addr", "spurious-value", "spurious-pred"}
+
+func (k TransitionKind) String() string {
+	if int(k) < len(transNames) {
+		return transNames[k]
+	}
+	return "?"
+}
+
+// StoreEvent describes an architecturally executed store, delivered to the
+// debugger hook just after the memory write (Old carries the pre-store
+// contents, so silent stores remain detectable).
+type StoreEvent struct {
+	PC     uint64
+	DisePC int
+	Addr   uint64
+	Size   int
+	Old    uint64 // previous memory contents at Addr (Size bytes)
+	New    uint64 // value being stored
+	InDise bool   // store issued from a replacement sequence or DISE function
+}
+
+// Silent reports whether the store leaves memory unchanged — the silent
+// stores whose spurious value transitions hardware watchpoints suffer
+// (paper §2, §5.1).
+func (e *StoreEvent) Silent() bool { return e.Old == e.New }
+
+// TrapEvent describes an executed trap-class instruction (trap, brk, or a
+// ctrap whose condition held).
+type TrapEvent struct {
+	PC     uint64
+	DisePC int
+	Op     isa.Op
+	Code   int64
+	InDise bool
+}
+
+// Hooks connects the core to the debugger. Nil members are skipped, so an
+// undebugged run pays nothing. Each hook returns the stall in cycles to
+// charge at the instruction's commit: 0 for free events (user transitions)
+// and the debugger-transition cost for spurious ones.
+type Hooks struct {
+	// OnStore runs for every store, just after memory is written.
+	OnStore func(*StoreEvent) uint64
+	// OnInst runs for every application instruction (DISEPC 0, outside
+	// DISE functions); the single-stepping back end uses it.
+	OnInst func(pc uint64) uint64
+	// OnTrap runs for executed trap instructions.
+	OnTrap func(*TrapEvent) uint64
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	Cycles uint64
+
+	AppInsts  uint64 // committed application instructions (DISEPC 0, non-function)
+	DiseUops  uint64 // committed replacement-sequence instructions
+	FuncInsts uint64 // committed instructions of DISE-called functions
+	Stores    uint64 // application stores
+	Loads     uint64 // application loads
+
+	Expansions uint64
+
+	BranchMispredicts uint64
+	DiseBranchFlushes uint64
+	DiseCallFlushes   uint64 // call + return flushes
+	TrapStallCycles   uint64
+	Traps             uint64 // traps that charged a stall
+	FreeTraps         uint64 // traps charged as free (user transitions)
+
+	HaltPC uint64
+	Halted bool
+}
+
+// IPC returns committed application instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.AppInsts) / float64(s.Cycles)
+}
+
+// StoreDensity returns application stores per application instruction.
+func (s Stats) StoreDensity() float64 {
+	if s.AppInsts == 0 {
+		return 0
+	}
+	return float64(s.Stores) / float64(s.AppInsts)
+}

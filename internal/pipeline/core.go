@@ -1,0 +1,665 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/dise"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Core is the simulated processor: architectural state plus the timing
+// model. Construct one with New, load a program through LoadProgram (in
+// internal/machine), and drive it with Run.
+type Core struct {
+	cfg    Config
+	Mem    *mem.Memory
+	Prot   *mem.Protection
+	Hier   *cache.Hierarchy
+	BP     *bpred.Predictor
+	Engine *dise.Engine
+	Hooks  Hooks
+
+	// Architectural application register file.
+	Regs [isa.NumRegs]uint64
+
+	// --- front-end / functional state ---
+	pc         uint64
+	dpc        int // 0: fetch raw instruction at pc; >=1: replay expansion
+	exp        *dise.Expansion
+	inDiseFunc bool
+	halted     bool
+	stopReq    bool
+
+	// --- timing state ---
+	fetchCursor  uint64 // earliest cycle the next fetch may happen
+	fetchBook    *booking
+	dispatchBook *booking
+	commitBook   *booking
+	lastFetch    uint64
+	lastDispatch uint64
+	lastCommit   uint64
+
+	aluBook  *booking
+	mulBook  *booking
+	loadBook *booking
+
+	robRing *ring
+	rsRing  *ring
+	lsqRing *ring
+
+	appReady  [isa.NumRegs]uint64
+	diseReady [isa.NumDiseRegs]uint64
+
+	storeQ     []storeRec
+	storeQHead int
+
+	lastFetchLine uint64 // line-granular I$ probing
+	mtCursor      uint64 // fetch cursor of the DISE-function thread context
+
+	stats Stats
+}
+
+type storeRec struct {
+	addr     uint64
+	size     int
+	dataDone uint64
+	commit   uint64
+	valid    bool
+}
+
+// New builds a core around the given memory system and DISE engine.
+func New(cfg Config, m *mem.Memory, hier *cache.Hierarchy, bp *bpred.Predictor, eng *dise.Engine) *Core {
+	c := &Core{
+		cfg:          cfg,
+		Mem:          m,
+		Prot:         mem.NewProtection(),
+		Hier:         hier,
+		BP:           bp,
+		Engine:       eng,
+		fetchBook:    newBooking(cfg.Width),
+		dispatchBook: newBooking(cfg.Width),
+		commitBook:   newBooking(cfg.Width),
+		aluBook:      newBooking(cfg.IntALUs),
+		mulBook:      newBooking(cfg.IntMuls),
+		loadBook:     newBooking(cfg.LoadPorts),
+		robRing:      newRing(cfg.ROBSize),
+		rsRing:       newRing(cfg.RSSize),
+		lsqRing:      newRing(cfg.LSQSize),
+		storeQ:       make([]storeRec, 64),
+	}
+	c.fetchCursor = 1
+	c.lastFetchLine = ^uint64(0)
+	return c
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Stats returns run statistics so far.
+func (c *Core) Stats() Stats { return c.stats }
+
+// SetPC sets the fetch PC (used by loaders).
+func (c *Core) SetPC(pc uint64) { c.pc = pc }
+
+// PC returns the current architectural PC.
+func (c *Core) PC() uint64 { return c.pc }
+
+// Halted reports whether the core has executed a halt.
+func (c *Core) Halted() bool { return c.halted }
+
+// readReg reads a register in either space.
+func (c *Core) readReg(r isa.Reg, sp isa.RegSpace) uint64 {
+	if sp == isa.DiseSpace {
+		return c.Engine.Regs[r%isa.NumDiseRegs]
+	}
+	if r == isa.Zero {
+		return 0
+	}
+	return c.Regs[r]
+}
+
+// writeReg writes a register in either space.
+func (c *Core) writeReg(r isa.Reg, sp isa.RegSpace, v uint64) {
+	if sp == isa.DiseSpace {
+		c.Engine.Regs[r%isa.NumDiseRegs] = v
+		return
+	}
+	if r != isa.Zero {
+		c.Regs[r] = v
+	}
+}
+
+func (c *Core) readyAt(r isa.Reg, sp isa.RegSpace) uint64 {
+	if sp == isa.DiseSpace {
+		return c.diseReady[r%isa.NumDiseRegs]
+	}
+	if r == isa.Zero {
+		return 0
+	}
+	return c.appReady[r]
+}
+
+func (c *Core) setReadyAt(r isa.Reg, sp isa.RegSpace, t uint64) {
+	if sp == isa.DiseSpace {
+		c.diseReady[r%isa.NumDiseRegs] = t
+		return
+	}
+	if r != isa.Zero {
+		c.appReady[r] = t
+	}
+}
+
+// Run executes until halt, the application-instruction budget, or the uop
+// safety cap is exhausted. It returns an error only for malformed
+// situations (e.g. executing unmapped garbage forever is cut off by
+// MaxUops).
+func (c *Core) Run(maxAppInsts uint64) error {
+	var uops uint64
+	for !c.halted {
+		if maxAppInsts > 0 && c.stats.AppInsts >= maxAppInsts {
+			break
+		}
+		if uops++; uops > c.cfg.MaxUops {
+			return fmt.Errorf("pipeline: uop budget exhausted at pc=%#x", c.pc)
+		}
+		c.step()
+		if c.stopReq {
+			c.stopReq = false
+			break
+		}
+	}
+	c.stats.Cycles = c.lastCommit
+	return nil
+}
+
+// RequestStop makes Run return after the current instruction completes.
+// Session front ends call it from a hook to pause at a user transition;
+// calling Run again resumes from the same architectural state.
+func (c *Core) RequestStop() { c.stopReq = true }
+
+// step fetches, functionally executes, and times exactly one uop.
+func (c *Core) step() {
+	pc, dpc := c.pc, c.dpc
+	var inst isa.Inst
+	expExtra := 0
+	inFunc := c.inDiseFunc // captured before exec can change it
+	inDise := dpc > 0 || inFunc
+
+	if dpc == 0 {
+		raw := isa.Decode(c.Mem.ReadInst(pc))
+		if exp, ok := c.Engine.Expand(raw, pc); ok {
+			c.exp = &exp
+			c.stats.Expansions++
+			expExtra = exp.ExtraLatency
+			dpc = 1
+			c.dpc = 1
+			inst = exp.Insts[0]
+			inDise = true
+		} else {
+			inst = raw
+		}
+	} else {
+		inst = c.exp.Insts[dpc-1]
+	}
+
+	// --- timing: fetch ---
+	fetchAt := c.fetchAt(pc, dpc, uint64(expExtra))
+
+	// --- functional execution + control flow ---
+	ev := c.exec(inst, pc, dpc, inDise)
+
+	// --- timing: dispatch/issue/complete/commit ---
+	c.time(inst, &ev, fetchAt, inDise, inFunc)
+
+	// --- advance front-end functional cursor ---
+	c.advance(inst, &ev, pc, dpc)
+}
+
+// fetchAt computes the fetch cycle for the uop at (pc, dpc), charging
+// instruction-cache latency once per line and honoring fetch bandwidth.
+func (c *Core) fetchAt(pc uint64, dpc int, expExtra uint64) uint64 {
+	earliest := c.fetchCursor
+	if earliest < c.lastFetch {
+		earliest = c.lastFetch
+	}
+	if c.cfg.MTDiseCalls && c.inDiseFunc && c.mtCursor > earliest {
+		// Function-thread fetch cannot begin before the call resolved.
+		earliest = c.mtCursor
+	}
+	// Replacement-sequence instructions come from the replacement table,
+	// not the I-cache; raw instructions probe the I-cache per line.
+	if dpc <= 1 {
+		line := c.Hier.L1I.LineBase(pc)
+		if line != c.lastFetchLine {
+			lat := c.Hier.FetchLatency(pc, earliest)
+			hit := uint64(c.Hier.Config().L1I.HitLatency)
+			if lat > hit {
+				earliest += lat - hit
+			}
+			c.lastFetchLine = line
+		}
+	}
+	at := c.fetchBook.book(earliest)
+	c.lastFetch = at
+	c.fetchCursor = at
+	return at + expExtra
+}
+
+// execResult carries the functional outcome a uop's timing needs.
+type execResult struct {
+	// memory
+	isLoad, isStore bool
+	addr            uint64
+	size            int
+	forwarded       bool
+	fwdReady        uint64
+
+	// control
+	redirect     bool // conventional taken control flow
+	mispredict   bool
+	diseFlush    bool // d-branch taken, d_call, d_ccall taken, d_ret
+	mtCall       bool // flush suppressed by the multithreading optimization
+	nextPC       uint64
+	nextDPC      int
+	endsSequence bool
+
+	// trap
+	trapStall uint64
+	trapped   bool
+
+	halted bool
+}
+
+// exec functionally executes inst, updating architectural state, calling
+// debugger hooks, and deciding control flow.
+func (c *Core) exec(inst isa.Inst, pc uint64, dpc int, inDise bool) execResult {
+	var ev execResult
+	if c.Hooks.OnInst != nil && dpc == 0 && !c.inDiseFunc {
+		ev.trapStall += c.Hooks.OnInst(pc)
+		if ev.trapStall > 0 {
+			ev.trapped = true
+		}
+	}
+
+	switch inst.Op.Class() {
+	case isa.ClassNop:
+		// includes unmatched codewords
+
+	case isa.ClassHalt:
+		ev.halted = true
+
+	case isa.ClassIntALU, isa.ClassIntMul:
+		c.execALU(inst)
+
+	case isa.ClassLoad:
+		base := c.readReg(inst.RB, inst.RBSp)
+		addr := isa.EffAddr(base, inst.Imm)
+		v := isa.SignExtendLoad(inst.Op, c.Mem.Read(addr, inst.Op.MemSize()))
+		c.writeReg(inst.RA, inst.RASp, v)
+		ev.isLoad = true
+		ev.addr, ev.size = addr, inst.Op.MemSize()
+		if !inDise {
+			c.stats.Loads++
+		}
+
+	case isa.ClassStore:
+		base := c.readReg(inst.RB, inst.RBSp)
+		addr := isa.EffAddr(base, inst.Imm)
+		size := inst.Op.MemSize()
+		v := isa.StoreValue(inst.Op, c.readReg(inst.RA, inst.RASp))
+		old := c.Mem.Read(addr, size)
+		c.Mem.Write(addr, size, v)
+		if c.Hooks.OnStore != nil {
+			sev := StoreEvent{PC: pc, DisePC: dpc, Addr: addr, Size: size, Old: old, New: v, InDise: inDise}
+			if stall := c.Hooks.OnStore(&sev); stall > 0 {
+				ev.trapStall += stall
+				ev.trapped = true
+			}
+		}
+		ev.isStore = true
+		ev.addr, ev.size = addr, size
+		if !inDise {
+			c.stats.Stores++
+		}
+
+	case isa.ClassBranch:
+		taken := isa.BranchTaken(inst.Op, c.readReg(inst.RA, inst.RASp))
+		pred := c.BP.PredictCond(pc)
+		c.BP.UpdateCond(pc, taken)
+		if pred != taken {
+			ev.mispredict = true
+			c.stats.BranchMispredicts++
+		}
+		if taken {
+			ev.redirect = true
+			ev.nextPC = isa.BranchTarget(pc, inst.Imm)
+		}
+
+	case isa.ClassJump:
+		c.execJump(inst, pc, &ev)
+
+	case isa.ClassTrap:
+		c.execTrap(inst, pc, dpc, inDise, &ev)
+
+	case isa.ClassDise:
+		c.execDise(inst, pc, dpc, &ev)
+	}
+	return ev
+}
+
+func (c *Core) execALU(inst isa.Inst) {
+	switch inst.Op {
+	case isa.OpLda, isa.OpLdah:
+		base := c.readReg(inst.RB, inst.RBSp)
+		c.writeReg(inst.RA, inst.RASp, isa.LdaResult(inst.Op, base, inst.Imm))
+	case isa.OpDmfr:
+		c.writeReg(inst.RC, isa.AppSpace, c.Engine.Regs[inst.RB%isa.NumDiseRegs])
+	case isa.OpDmtr:
+		c.Engine.Regs[inst.RB%isa.NumDiseRegs] = c.readReg(inst.RA, inst.RASp)
+	default:
+		a := c.readReg(inst.RA, inst.RASp)
+		var b uint64
+		if inst.UseImm {
+			b = uint64(inst.Imm)
+		} else {
+			b = c.readReg(inst.RB, inst.RBSp)
+		}
+		c.writeReg(inst.RC, inst.RCSp, isa.ALU(inst.Op, a, b))
+	}
+}
+
+func (c *Core) execJump(inst isa.Inst, pc uint64, ev *execResult) {
+	ret := pc + 4
+	switch inst.Op {
+	case isa.OpBr:
+		ev.redirect = true
+		ev.nextPC = isa.BranchTarget(pc, inst.Imm)
+		c.writeReg(inst.RA, inst.RASp, ret)
+	case isa.OpBsr:
+		ev.redirect = true
+		ev.nextPC = isa.BranchTarget(pc, inst.Imm)
+		c.writeReg(inst.RA, inst.RASp, ret)
+		c.BP.PushRAS(ret)
+	case isa.OpJmp, isa.OpJsr:
+		target := c.readReg(inst.RB, inst.RBSp) &^ 3
+		predicted, ok := c.BP.PredictTarget(pc)
+		if !ok || predicted != target {
+			ev.mispredict = true
+			c.stats.BranchMispredicts++
+		}
+		c.BP.UpdateTarget(pc, target)
+		ev.redirect = true
+		ev.nextPC = target
+		c.writeReg(inst.RA, inst.RASp, ret)
+		if inst.Op == isa.OpJsr {
+			c.BP.PushRAS(ret)
+		}
+	case isa.OpRet:
+		target := c.readReg(inst.RB, inst.RBSp) &^ 3
+		predicted, ok := c.BP.PopRAS()
+		if !ok || predicted != target {
+			ev.mispredict = true
+			c.stats.BranchMispredicts++
+		}
+		ev.redirect = true
+		ev.nextPC = target
+	}
+}
+
+func (c *Core) execTrap(inst isa.Inst, pc uint64, dpc int, inDise bool, ev *execResult) {
+	if inst.Op == isa.OpCtrap && !isa.BranchTaken(isa.OpBne, c.readReg(inst.RA, inst.RASp)) {
+		return // condition false: no trap, no flush — the whole point (§4.2)
+	}
+	if c.Hooks.OnTrap != nil {
+		tev := TrapEvent{PC: pc, DisePC: dpc, Op: inst.Op, Code: inst.Imm, InDise: inDise}
+		stall := c.Hooks.OnTrap(&tev)
+		ev.trapStall += stall
+		ev.trapped = true
+	} else {
+		// An unhandled trap halts: it would otherwise kill the process.
+		ev.halted = true
+	}
+}
+
+func (c *Core) execDise(inst isa.Inst, pc uint64, dpc int, ev *execResult) {
+	switch inst.Op {
+	case isa.OpDbeq, isa.OpDbne:
+		if isa.BranchTaken(inst.Op, c.readReg(inst.RA, inst.RASp)) {
+			ev.diseFlush = true
+			ev.nextDPC = dise.DBranchTarget(dpc, inst.Imm)
+			ev.nextPC = pc
+			ev.redirect = true
+			c.stats.DiseBranchFlushes++
+		}
+	case isa.OpDcall, isa.OpDccall:
+		if inst.Op == isa.OpDccall && c.readReg(inst.RA, inst.RASp) == 0 {
+			return
+		}
+		c.Engine.DLinkPC, c.Engine.DLinkDPC = pc, dpc+1
+		c.Engine.Active = false
+		c.inDiseFunc = true
+		ev.redirect = true
+		ev.nextPC = c.Engine.Regs[inst.RB%isa.NumDiseRegs] &^ 3
+		ev.nextDPC = 0
+		if c.cfg.MTDiseCalls {
+			ev.mtCall = true
+		} else {
+			ev.diseFlush = true
+			c.stats.DiseCallFlushes++
+		}
+	case isa.OpDret:
+		c.Engine.Active = true
+		c.inDiseFunc = false
+		ev.redirect = true
+		ev.nextPC, ev.nextDPC = c.Engine.DLinkPC, c.Engine.DLinkDPC
+		if c.cfg.MTDiseCalls {
+			ev.mtCall = true
+		} else {
+			ev.diseFlush = true
+			c.stats.DiseCallFlushes++
+		}
+	}
+}
+
+// time runs the uop through the timing model and updates the front-end
+// cursors for flushes and stalls. inFunc is whether the uop was fetched
+// inside a DISE-called function (captured before exec).
+func (c *Core) time(inst isa.Inst, ev *execResult, fetchAt uint64, inDise, inFunc bool) {
+	arrival := fetchAt + uint64(c.cfg.FrontEndDepth)
+
+	// Structure occupancy: ROB, RS, and (for memory ops) LSQ.
+	earliest := arrival
+	if t, full := c.robRing.oldest(); full && t+1 > earliest {
+		earliest = t + 1
+	}
+	if t, full := c.rsRing.oldest(); full && t+1 > earliest {
+		earliest = t + 1
+	}
+	isMem := ev.isLoad || ev.isStore
+	if isMem {
+		if t, full := c.lsqRing.oldest(); full && t+1 > earliest {
+			earliest = t + 1
+		}
+	}
+	if earliest < c.lastDispatch {
+		earliest = c.lastDispatch
+	}
+	dispatchAt := c.dispatchBook.book(earliest)
+	c.lastDispatch = dispatchAt
+
+	// Operand readiness.
+	issueEarliest := dispatchAt + 1
+	var srcs [3]isa.RegRef
+	for _, s := range inst.Srcs(srcs[:0]) {
+		if t := c.readyAt(s.Reg, s.Space); t > issueEarliest {
+			issueEarliest = t
+		}
+	}
+
+	// Issue: function unit and port booking; completion latency.
+	var issueAt, doneAt uint64
+	switch {
+	case ev.isLoad:
+		fwd, fwdReady := c.searchStoreQ(ev.addr, ev.size)
+		if fwd && fwdReady+1 > issueEarliest {
+			issueEarliest = fwdReady + 1
+		}
+		issueAt = c.loadBook.book(issueEarliest)
+		if fwd {
+			doneAt = issueAt + uint64(c.Hier.Config().L1D.HitLatency)
+		} else {
+			doneAt = issueAt + c.Hier.DataLatency(ev.addr, false, issueAt)
+		}
+	case ev.isStore:
+		issueAt = c.aluBook.book(issueEarliest) // address generation
+		doneAt = issueAt + 1
+	case inst.Op.Class() == isa.ClassIntMul:
+		issueAt = c.mulBook.book(issueEarliest)
+		doneAt = issueAt + uint64(c.cfg.MulLatency)
+	default:
+		issueAt = c.aluBook.book(issueEarliest)
+		doneAt = issueAt + 1
+	}
+
+	// Destination becomes ready at completion.
+	if d, ok := inst.Dst(); ok {
+		if c.cfg.MTDiseCalls && inFunc && d.Space == isa.AppSpace {
+			// The function thread has its own rename space; its register
+			// writes do not stall the application thread (§4).
+		} else {
+			c.setReadyAt(d.Reg, d.Space, doneAt)
+		}
+	}
+
+	// In-order commit with width-limited bandwidth.
+	commitEarliest := doneAt + 1
+	if commitEarliest < c.lastCommit {
+		commitEarliest = c.lastCommit
+	}
+	commitAt := c.commitBook.book(commitEarliest)
+	c.lastCommit = commitAt
+
+	// Structure releases.
+	c.robRing.push(commitAt)
+	c.rsRing.push(issueAt + 1)
+	if isMem {
+		c.lsqRing.push(commitAt)
+	}
+	if ev.isStore {
+		c.pushStoreQ(ev.addr, ev.size, doneAt, commitAt)
+		// The store drains to the data cache after commit.
+		c.Hier.DataLatency(ev.addr, true, commitAt)
+	}
+
+	// Statistics.
+	switch {
+	case inFunc:
+		c.stats.FuncInsts++
+	case inDise:
+		c.stats.DiseUops++
+	default:
+		c.stats.AppInsts++
+	}
+
+	// Front-end redirects.
+	switch {
+	case ev.trapped && ev.trapStall > 0:
+		// Costly debugger transition: pipeline flush plus stall; fetch
+		// restarts after the stall (paper §5 methodology).
+		c.fetchCursor = commitAt + ev.trapStall
+		c.stats.TrapStallCycles += ev.trapStall
+		c.stats.Traps++
+	case ev.mispredict:
+		c.fetchCursor = doneAt + 1
+	case ev.diseFlush:
+		c.fetchCursor = doneAt + 1
+	case ev.mtCall:
+		// Function thread fetches from its own context: no main-thread
+		// flush. Its uops start no earlier than the call's completion.
+		if doneAt+1 > c.mtCursor {
+			c.mtCursor = doneAt + 1
+		}
+	case ev.redirect:
+		// Correctly predicted taken control flow: the fetch group ends.
+		c.fetchCursor = fetchAt + 1
+	}
+	if ev.trapped && ev.trapStall == 0 {
+		c.stats.FreeTraps++
+	}
+	if ev.halted {
+		c.halted = true
+		c.stats.Halted = true
+		c.stats.HaltPC = c.pc
+	}
+}
+
+// advance moves the functional front-end cursor to the next uop.
+func (c *Core) advance(inst isa.Inst, ev *execResult, pc uint64, dpc int) {
+	if ev.halted {
+		return
+	}
+	if ev.redirect {
+		c.pc, c.dpc = ev.nextPC, ev.nextDPC
+		if c.dpc > 0 {
+			if c.exp == nil {
+				// Resuming mid-sequence after a DISE call returned: the
+				// engine re-expands the trigger at the same PC.
+				raw := isa.Decode(c.Mem.ReadInst(c.pc))
+				if exp, ok := c.Engine.Reexpand(raw, c.pc); ok {
+					c.exp = &exp
+				} else {
+					// The production vanished mid-call; resume raw.
+					c.dpc = 0
+				}
+			}
+			if c.exp != nil && c.dpc > len(c.exp.Insts) {
+				// Jump or return past the end of the sequence: it is done.
+				c.pc, c.dpc = c.pc+4, 0
+			}
+		}
+		if c.dpc == 0 {
+			c.exp = nil
+		}
+		return
+	}
+	if dpc > 0 {
+		if dpc+1 <= len(c.exp.Insts) {
+			c.dpc = dpc + 1
+		} else {
+			c.pc, c.dpc, c.exp = pc+4, 0, nil
+		}
+		return
+	}
+	c.pc = pc + 4
+}
+
+// searchStoreQ looks for an older in-flight store overlapping [addr,
+// addr+size). A containing store forwards its data; a partial overlap
+// delays the load until the store commits.
+func (c *Core) searchStoreQ(addr uint64, size int) (forward bool, ready uint64) {
+	end := addr + uint64(size)
+	for i := 0; i < len(c.storeQ); i++ {
+		idx := (c.storeQHead - 1 - i + 2*len(c.storeQ)) % len(c.storeQ)
+		s := &c.storeQ[idx]
+		if !s.valid {
+			continue
+		}
+		sEnd := s.addr + uint64(s.size)
+		if addr >= sEnd || end <= s.addr {
+			continue
+		}
+		if addr >= s.addr && end <= sEnd {
+			return true, s.dataDone
+		}
+		return true, s.commit // partial overlap: wait for drain
+	}
+	return false, 0
+}
+
+func (c *Core) pushStoreQ(addr uint64, size int, dataDone, commit uint64) {
+	c.storeQ[c.storeQHead] = storeRec{addr: addr, size: size, dataDone: dataDone, commit: commit, valid: true}
+	c.storeQHead = (c.storeQHead + 1) % len(c.storeQ)
+}

@@ -1,0 +1,27 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/dise"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// installNopExpansion replaces every store with itself plus extra
+// independent ALU instructions — pure bandwidth load.
+func installNopExpansion(t *testing.T, m *machine.Machine, extra int) {
+	t.Helper()
+	seq := []dise.TemplateInst{dise.TInst()}
+	for i := 0; i < extra; i++ {
+		seq = append(seq, dise.OpIT(isa.OpAddq, dise.DReg(isa.DR0), 1, dise.DReg(isa.DR0)))
+	}
+	prod := &dise.Production{
+		Name:        "bandwidth-noise",
+		Pattern:     dise.MatchClass(isa.ClassStore),
+		Replacement: seq,
+	}
+	if err := m.Engine.Install(prod); err != nil {
+		t.Fatal(err)
+	}
+}

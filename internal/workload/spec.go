@@ -1,0 +1,134 @@
+// Package workload generates the six benchmark kernels the evaluation
+// runs on. The paper profiles one large function from each SPEC2000
+// integer benchmark (Table 1) and selects six watchpoints per benchmark
+// with measured write frequencies (Table 2). SPEC sources and Alpha
+// binaries are not reproducible here, so each kernel is a synthetic
+// program assembled for our ISA and parameterized to match the properties
+// the evaluation actually depends on:
+//
+//   - store density and baseline IPC class (Table 1),
+//   - static code footprint (instruction-cache behavior, Figure 5),
+//   - per-watchpoint write frequency per 100K stores (Table 2),
+//   - the silent-store fraction of the HOT watchpoint (§5.1: in all HOT
+//     benchmarks save bzip2, at least half the stores to the watched
+//     address do not change the value),
+//   - page co-location of watched variables with frequently written data
+//     (the virtual-memory implementation's failure mode, §5.1),
+//   - a pointer-chasing memory-bound loop for mcf (its low IPC masks
+//     instrumentation overhead).
+//
+// Each kernel exposes the paper's six watchpoints — HOT, WARM1, WARM2,
+// COLD, INDIRECT (the same storage as HOT, through a pointer), and RANGE
+// (a 32-quad array) — plus a 16-quad vars[] array written round-robin for
+// the multi-watchpoint experiment (Figure 6).
+package workload
+
+// Spec parameterizes one synthetic kernel.
+type Spec struct {
+	Name     string // benchmark name (bzip2, crafty, ...)
+	Function string // the paper's profiled function, for reports
+
+	// Body shape.
+	Groups    int // unrolled store groups per outer iteration (footprint)
+	Fill      int // independent ALU fill instructions per group
+	LoadEvery int // one load per N groups (0 = no loads)
+	// ChainLoadEvery folds every Nth group's loaded value into the fill
+	// chain, putting cache latency on the critical path (0 = never).
+	ChainLoadEvery int
+	ChaseEvery     int // one dependent pointer-chase load per N groups (0 = none)
+	ILP            int // independent dependence chains (1..4)
+
+	StoreBufBytes int // power-of-two store working set
+	RingBytes     int // pointer-chase ring size (0 = none)
+
+	// Watchpoint write schedule: target writes per 100K stores (Table 2).
+	HotF, Warm1F, Warm2F, ColdF, RangeF float64
+
+	HotSilentShift uint // hot value = writes >> shift: shift 1 ≈ 50% silent
+
+	// Page layout: which watched variables share the hot locals page.
+	Warm1Shared, Warm2Shared, ColdShared bool
+
+	// VarsWrite adds one round-robin store per iteration into the vars[]
+	// array used by the Figure 6 multi-watchpoint sweep.
+	VarsWrite       bool
+	VarsSilentShift uint
+
+	// Paper reference values for side-by-side reporting.
+	PaperIPC     float64
+	PaperDensity float64 // fraction of instructions that are stores
+	PaperInsts   uint64  // dynamic instructions simulated in the paper
+}
+
+// Specs returns the six benchmark kernels, configured from Tables 1 and 2.
+func Specs() []Spec {
+	return []Spec{
+		{
+			Name: "bzip2", Function: "generateMTFValues",
+			Groups: 32, Fill: 5, LoadEvery: 1, ChainLoadEvery: 2, ILP: 2,
+			StoreBufBytes: 16 << 10,
+			HotF:          24805.7, Warm1F: 193.4, Warm2F: 0.05, ColdF: 0, RangeF: 193.4,
+			HotSilentShift: 0,
+			Warm1Shared:    true, // WARM1/bzip2 under VM ≈ single-stepping (§5.1)
+			VarsWrite:      false,
+			PaperIPC:       2.45, PaperDensity: 0.198, PaperInsts: 1828109152,
+		},
+		{
+			Name: "crafty", Function: "InitializeAttackBoards",
+			Groups: 64, Fill: 8, LoadEvery: 3, ChainLoadEvery: 9, ILP: 2,
+			StoreBufBytes: 32 << 10,
+			HotF:          6531.4, Warm1F: 3308.4, Warm2F: 6.7, ColdF: 0.4, RangeF: 72.8,
+			HotSilentShift: 1,
+			VarsWrite:      true,
+			PaperIPC:       2.39, PaperDensity: 0.108, PaperInsts: 18546482,
+		},
+		{
+			Name: "gcc", Function: "regclass",
+			Groups: 500, Fill: 8, LoadEvery: 2, ChainLoadEvery: 4, ILP: 2,
+			StoreBufBytes: 16 << 10,
+			HotF:          454.8, Warm1F: 223.7, Warm2F: 0.2, ColdF: 0.1, RangeF: 8197.9,
+			HotSilentShift: 1,
+			VarsWrite:      true,
+			PaperIPC:       1.90, PaperDensity: 0.0968, PaperInsts: 18016384,
+		},
+		{
+			Name: "mcf", Function: "write_circs",
+			Groups: 24, Fill: 4, LoadEvery: 0, ChaseEvery: 6, ILP: 2,
+			StoreBufBytes: 32 << 10, RingBytes: 4 << 20,
+			HotF: 11229.8, Warm1F: 1168.4, Warm2F: 215.4, ColdF: 0, RangeF: 0,
+			HotSilentShift: 1,
+			VarsWrite:      false,
+			PaperIPC:       0.33, PaperDensity: 0.162, PaperInsts: 1847332,
+		},
+		{
+			Name: "twolf", Function: "uloop",
+			Groups: 300, Fill: 5, LoadEvery: 2, ChainLoadEvery: 2, ILP: 2,
+			StoreBufBytes: 32 << 10,
+			HotF:          1467.4, Warm1F: 227.5, Warm2F: 101.4, ColdF: 80.8, RangeF: 250.6,
+			HotSilentShift: 1,
+			ColdShared:     true, // COLD/twolf under VM is expensive (§5.1)
+			VarsWrite:      false,
+			PaperIPC:       1.87, PaperDensity: 0.137, PaperInsts: 2336334,
+		},
+		{
+			Name: "vortex", Function: "BMT_TraverseSets",
+			Groups: 400, Fill: 4, LoadEvery: 3, ChainLoadEvery: 6, ILP: 2,
+			StoreBufBytes: 32 << 10,
+			HotF:          7290.3, Warm1F: 27.6, Warm2F: 27.6, ColdF: 0.05, RangeF: 0.4,
+			HotSilentShift: 1,
+			ColdShared:     true, // COLD/vortex under VM is expensive (§5.1)
+			VarsWrite:      true, VarsSilentShift: 1,
+			PaperIPC: 2.25, PaperDensity: 0.176, PaperInsts: 205690692,
+		},
+	}
+}
+
+// ByName returns the spec for a benchmark name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
