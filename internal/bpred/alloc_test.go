@@ -1,0 +1,38 @@
+package bpred
+
+import "testing"
+
+// TestUpdateCondAllocFree pins the fix for the per-branch map literal that
+// used to allocate on every history update: conditional-branch training is
+// on the simulator's per-instruction hot path and must not touch the heap.
+func TestUpdateCondAllocFree(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x1000)
+	n := testing.AllocsPerRun(1000, func() {
+		p.UpdateCond(pc, true)
+		p.UpdateCond(pc+4, false)
+		pc += 8
+	})
+	if n != 0 {
+		t.Errorf("UpdateCond allocates %.1f objects per call pair, want 0", n)
+	}
+}
+
+// TestHistoryShiftsOutcomes checks the branchless history update: the
+// global history register must shift in exactly one bit per branch, LSB
+// first.
+func TestHistoryShiftsOutcomes(t *testing.T) {
+	p := New(DefaultConfig())
+	outcomes := []bool{true, false, true, true, false, false, true, false}
+	var want uint64
+	for _, taken := range outcomes {
+		p.UpdateCond(0x2000, taken)
+		want <<= 1
+		if taken {
+			want |= 1
+		}
+	}
+	if p.history != want {
+		t.Errorf("history = %#b, want %#b", p.history, want)
+	}
+}

@@ -136,7 +136,10 @@ func (p *Predictor) UpdateCond(pc uint64, taken bool) (mispredicted bool) {
 	if bPred != gPred {
 		bump(&p.chooser[i], gPred == taken)
 	}
-	p.history = p.history<<1 | map[bool]uint64{true: 1, false: 0}[taken]
+	p.history <<= 1
+	if taken {
+		p.history |= 1
+	}
 	return pred != taken
 }
 

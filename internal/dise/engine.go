@@ -161,7 +161,9 @@ func (e *Engine) Lookup(inst isa.Inst, pc uint64) (*Production, bool) {
 // Expand applies the most specific matching production to inst at pc. The
 // boolean result is false if the engine is inactive or nothing matches.
 func (e *Engine) Expand(inst isa.Inst, pc uint64) (Expansion, bool) {
-	if !e.Active {
+	// The empty-table check matters: Expand sits on the fetch path of
+	// every uop, and most simulated machines run with no productions.
+	if !e.Active || len(e.prods) == 0 {
 		return Expansion{}, false
 	}
 	p, ok := e.Lookup(inst, pc)

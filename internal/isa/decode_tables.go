@@ -1,0 +1,57 @@
+package isa
+
+// Decode lookup tables. Decode is the hottest function in the simulator —
+// it used to run once per fetched uop — so every per-call map literal in
+// it showed up directly in the profile. The tables below are plain arrays
+// indexed by primary opcode or function code, built once at init from
+// encTable so the decoder can never disagree with the encoder about which
+// (primary, fn) pair an opcode owns.
+
+// opNone marks an empty decode-table slot (an illegal encoding).
+const opNone = numOps
+
+var (
+	// ldstDecode maps a primary opcode in the load/store group to its Op.
+	ldstDecode [64]Op
+	// branchDecode maps a primary opcode in the branch group (br/bsr and
+	// all conditional branches share the B format) to its Op.
+	branchDecode [64]Op
+	// intaDecode/intlDecode/intsDecode map a 7-bit operate function code
+	// to its Op within each operate primary group.
+	intaDecode [128]Op
+	intlDecode [128]Op
+	intsDecode [128]Op
+	// diseDecode maps a 5-bit DISE-group function code to its Op.
+	diseDecode [32]Op
+)
+
+func init() {
+	for _, t := range [][]Op{
+		ldstDecode[:], branchDecode[:],
+		intaDecode[:], intlDecode[:], intsDecode[:], diseDecode[:],
+	} {
+		for i := range t {
+			t[i] = opNone
+		}
+	}
+	for op := Op(0); op < numOps; op++ {
+		spec := encTable[op]
+		if !spec.valid {
+			continue
+		}
+		switch spec.primary {
+		case pcLdbu, pcLdw, pcLdl, pcLdq, pcStb, pcStw, pcStl, pcStq:
+			ldstDecode[spec.primary] = op
+		case pcBr, pcBsr, pcBeq, pcBne, pcBlt, pcBge, pcBle, pcBgt, pcBlbc, pcBlbs:
+			branchDecode[spec.primary] = op
+		case pcInta:
+			intaDecode[spec.fn] = op
+		case pcIntl:
+			intlDecode[spec.fn] = op
+		case pcInts:
+			intsDecode[spec.fn] = op
+		case pcDise:
+			diseDecode[spec.fn] = op
+		}
+	}
+}

@@ -101,69 +101,73 @@ const (
 type encSpec struct {
 	primary uint32
 	fn      uint32
+	valid   bool
 }
 
-var encByOp = map[Op]encSpec{
-	OpNop:   {pcMisc, miscNop},
-	OpHalt:  {pcMisc, miscHalt},
-	OpTrap:  {pcMisc, miscTrap},
-	OpBrk:   {pcMisc, miscBrk},
-	OpCtrap: {pcCtrap, 0},
+// encTable is the encoding spec per opcode, indexed by Op. The decoder's
+// lookup tables are derived from it in init, so encoder and decoder cannot
+// disagree about an encoding.
+var encTable = [numOps]encSpec{
+	OpNop:   {pcMisc, miscNop, true},
+	OpHalt:  {pcMisc, miscHalt, true},
+	OpTrap:  {pcMisc, miscTrap, true},
+	OpBrk:   {pcMisc, miscBrk, true},
+	OpCtrap: {pcCtrap, 0, true},
 
-	OpLda:  {pcLda, 0},
-	OpLdah: {pcLdah, 0},
-	OpLdbu: {pcLdbu, 0},
-	OpLdw:  {pcLdw, 0},
-	OpLdl:  {pcLdl, 0},
-	OpLdq:  {pcLdq, 0},
-	OpStb:  {pcStb, 0},
-	OpStw:  {pcStw, 0},
-	OpStl:  {pcStl, 0},
-	OpStq:  {pcStq, 0},
+	OpLda:  {pcLda, 0, true},
+	OpLdah: {pcLdah, 0, true},
+	OpLdbu: {pcLdbu, 0, true},
+	OpLdw:  {pcLdw, 0, true},
+	OpLdl:  {pcLdl, 0, true},
+	OpLdq:  {pcLdq, 0, true},
+	OpStb:  {pcStb, 0, true},
+	OpStw:  {pcStw, 0, true},
+	OpStl:  {pcStl, 0, true},
+	OpStq:  {pcStq, 0, true},
 
-	OpAddq:   {pcInta, fnAddq},
-	OpSubq:   {pcInta, fnSubq},
-	OpMulq:   {pcInta, fnMulq},
-	OpCmpeq:  {pcInta, fnCmpeq},
-	OpCmplt:  {pcInta, fnCmplt},
-	OpCmple:  {pcInta, fnCmple},
-	OpCmpult: {pcInta, fnCmpult},
-	OpCmpule: {pcInta, fnCmpule},
+	OpAddq:   {pcInta, fnAddq, true},
+	OpSubq:   {pcInta, fnSubq, true},
+	OpMulq:   {pcInta, fnMulq, true},
+	OpCmpeq:  {pcInta, fnCmpeq, true},
+	OpCmplt:  {pcInta, fnCmplt, true},
+	OpCmple:  {pcInta, fnCmple, true},
+	OpCmpult: {pcInta, fnCmpult, true},
+	OpCmpule: {pcInta, fnCmpule, true},
 
-	OpAnd:   {pcIntl, fnAnd},
-	OpBis:   {pcIntl, fnBis},
-	OpXor:   {pcIntl, fnXor},
-	OpBic:   {pcIntl, fnBic},
-	OpOrnot: {pcIntl, fnOrnot},
+	OpAnd:   {pcIntl, fnAnd, true},
+	OpBis:   {pcIntl, fnBis, true},
+	OpXor:   {pcIntl, fnXor, true},
+	OpBic:   {pcIntl, fnBic, true},
+	OpOrnot: {pcIntl, fnOrnot, true},
 
-	OpSll: {pcInts, fnSll},
-	OpSrl: {pcInts, fnSrl},
-	OpSra: {pcInts, fnSra},
+	OpSll: {pcInts, fnSll, true},
+	OpSrl: {pcInts, fnSrl, true},
+	OpSra: {pcInts, fnSra, true},
 
-	OpBr:   {pcBr, 0},
-	OpBsr:  {pcBsr, 0},
-	OpBeq:  {pcBeq, 0},
-	OpBne:  {pcBne, 0},
-	OpBlt:  {pcBlt, 0},
-	OpBge:  {pcBge, 0},
-	OpBle:  {pcBle, 0},
-	OpBgt:  {pcBgt, 0},
-	OpBlbc: {pcBlbc, 0},
-	OpBlbs: {pcBlbs, 0},
+	OpBr:   {pcBr, 0, true},
+	OpBsr:  {pcBsr, 0, true},
+	OpBeq:  {pcBeq, 0, true},
+	OpBne:  {pcBne, 0, true},
+	OpBlt:  {pcBlt, 0, true},
+	OpBge:  {pcBge, 0, true},
+	OpBle:  {pcBle, 0, true},
+	OpBgt:  {pcBgt, 0, true},
+	OpBlbc: {pcBlbc, 0, true},
+	OpBlbs: {pcBlbs, 0, true},
 
-	OpJmp: {pcJmpGrp, jfJmp},
-	OpJsr: {pcJmpGrp, jfJsr},
-	OpRet: {pcJmpGrp, jfRet},
+	OpJmp: {pcJmpGrp, jfJmp, true},
+	OpJsr: {pcJmpGrp, jfJsr, true},
+	OpRet: {pcJmpGrp, jfRet, true},
 
-	OpCodeword: {pcCodeword, 0},
+	OpCodeword: {pcCodeword, 0, true},
 
-	OpDbeq:   {pcDise, dfDbeq},
-	OpDbne:   {pcDise, dfDbne},
-	OpDcall:  {pcDise, dfDcall},
-	OpDccall: {pcDise, dfDccall},
-	OpDret:   {pcDise, dfDret},
-	OpDmfr:   {pcDise, dfDmfr},
-	OpDmtr:   {pcDise, dfDmtr},
+	OpDbeq:   {pcDise, dfDbeq, true},
+	OpDbne:   {pcDise, dfDbne, true},
+	OpDcall:  {pcDise, dfDcall, true},
+	OpDccall: {pcDise, dfDccall, true},
+	OpDret:   {pcDise, dfDret, true},
+	OpDmfr:   {pcDise, dfDmfr, true},
+	OpDmtr:   {pcDise, dfDmtr, true},
 }
 
 func fitsSigned(v int64, bits uint) bool {
@@ -175,10 +179,10 @@ func fitsSigned(v int64, bits uint) bool {
 // whose operands reference DISE registers (other than the DISE-group rb
 // fields) cannot be encoded; they exist only inside the DISE engine.
 func Encode(i Inst) (uint32, error) {
-	spec, ok := encByOp[i.Op]
-	if !ok {
+	if i.Op >= numOps || !encTable[i.Op].valid {
 		return 0, fmt.Errorf("isa: cannot encode opcode %v", i.Op)
 	}
+	spec := encTable[i.Op]
 	diseRB := i.Op == OpDcall || i.Op == OpDccall || i.Op == OpDmfr || i.Op == OpDmtr
 	if i.RASp != AppSpace || i.RCSp != AppSpace || (i.RBSp != AppSpace && !diseRB) {
 		return 0, fmt.Errorf("isa: %v references DISE registers and has no binary encoding", i)
@@ -285,30 +289,19 @@ func Decode(w uint32) Inst {
 	case pcLdah:
 		return Inst{Op: OpLdah, RA: ra, RB: rb, Imm: signExtend(w&0xFFFF, 16)}
 	case pcLdbu, pcLdw, pcLdl, pcLdq, pcStb, pcStw, pcStl, pcStq:
-		op := map[uint32]Op{
-			pcLdbu: OpLdbu, pcLdw: OpLdw, pcLdl: OpLdl, pcLdq: OpLdq,
-			pcStb: OpStb, pcStw: OpStw, pcStl: OpStl, pcStq: OpStq,
-		}[primary]
-		return Inst{Op: op, RA: ra, RB: rb, Imm: signExtend(w&0xFFFF, 16)}
+		return Inst{Op: ldstDecode[primary], RA: ra, RB: rb, Imm: signExtend(w&0xFFFF, 16)}
 	case pcInta, pcIntl, pcInts:
 		fn := (w >> 5) & 0x7F
 		var op Op
-		var ok bool
 		switch primary {
 		case pcInta:
-			op, ok = map[uint32]Op{
-				fnAddq: OpAddq, fnSubq: OpSubq, fnMulq: OpMulq,
-				fnCmpeq: OpCmpeq, fnCmplt: OpCmplt, fnCmple: OpCmple,
-				fnCmpult: OpCmpult, fnCmpule: OpCmpule,
-			}[fn]
+			op = intaDecode[fn]
 		case pcIntl:
-			op, ok = map[uint32]Op{
-				fnAnd: OpAnd, fnBis: OpBis, fnXor: OpXor, fnBic: OpBic, fnOrnot: OpOrnot,
-			}[fn]
+			op = intlDecode[fn]
 		case pcInts:
-			op, ok = map[uint32]Op{fnSll: OpSll, fnSrl: OpSrl, fnSra: OpSra}[fn]
+			op = intsDecode[fn]
 		}
-		if !ok {
+		if op == opNone {
 			break
 		}
 		rc := Reg(w & 31)
@@ -326,31 +319,25 @@ func Decode(w uint32) Inst {
 			return Inst{Op: OpRet, RA: ra, RB: rb}
 		}
 	case pcBr, pcBsr, pcBeq, pcBne, pcBlt, pcBge, pcBle, pcBgt, pcBlbc, pcBlbs:
-		op := map[uint32]Op{
-			pcBr: OpBr, pcBsr: OpBsr, pcBeq: OpBeq, pcBne: OpBne,
-			pcBlt: OpBlt, pcBge: OpBge, pcBle: OpBle, pcBgt: OpBgt,
-			pcBlbc: OpBlbc, pcBlbs: OpBlbs,
-		}[primary]
-		return Inst{Op: op, RA: ra, Imm: signExtend(w&0x1FFFFF, 21)}
+		return Inst{Op: branchDecode[primary], RA: ra, Imm: signExtend(w&0x1FFFFF, 21)}
 	case pcCodeword:
 		return Inst{Op: OpCodeword, Imm: int64(w & 0x3FFFFFF)}
 	case pcDise:
-		fn := (w >> 11) & 31
 		imm := signExtend(w&0x7FF, 11)
-		switch fn {
-		case dfDbeq:
+		switch diseDecode[(w>>11)&31] {
+		case OpDbeq:
 			return Inst{Op: OpDbeq, RA: ra, Imm: imm}
-		case dfDbne:
+		case OpDbne:
 			return Inst{Op: OpDbne, RA: ra, Imm: imm}
-		case dfDcall:
+		case OpDcall:
 			return Inst{Op: OpDcall, RB: rb & 15, RBSp: DiseSpace}
-		case dfDccall:
+		case OpDccall:
 			return Inst{Op: OpDccall, RA: ra, RB: rb & 15, RBSp: DiseSpace}
-		case dfDret:
+		case OpDret:
 			return Inst{Op: OpDret}
-		case dfDmfr:
+		case OpDmfr:
 			return Inst{Op: OpDmfr, RB: rb & 15, RBSp: DiseSpace, RC: Reg(w & 31)}
-		case dfDmtr:
+		case OpDmtr:
 			return Inst{Op: OpDmtr, RA: ra, RB: rb & 15, RBSp: DiseSpace}
 		}
 	}

@@ -373,49 +373,54 @@ var Nop = Inst{Op: OpNop}
 // Halt is the canonical halt instruction.
 var Halt = Inst{Op: OpHalt}
 
+// appendReg appends {r, sp} to dst unless it is the hardwired zero
+// register. Srcs runs once per uop in the pipeline's operand-readiness
+// scan, so this is a plain function rather than a closure (closures defeat
+// inlining in the hot path).
+func appendReg(dst []RegRef, r Reg, sp RegSpace) []RegRef {
+	if sp == AppSpace && r == Zero {
+		return dst
+	}
+	return append(dst, RegRef{r, sp})
+}
+
 // Srcs appends the source register operands of i (with spaces) to dst and
 // returns it. The zero register is omitted.
 func (i Inst) Srcs(dst []RegRef) []RegRef {
-	add := func(r Reg, sp RegSpace) []RegRef {
-		if sp == AppSpace && r == Zero {
-			return dst
-		}
-		return append(dst, RegRef{r, sp})
-	}
 	switch i.Op.Class() {
 	case ClassLoad:
-		dst = add(i.RB, i.RBSp)
+		dst = appendReg(dst, i.RB, i.RBSp)
 	case ClassStore:
-		dst = add(i.RA, i.RASp)
-		dst = add(i.RB, i.RBSp)
+		dst = appendReg(dst, i.RA, i.RASp)
+		dst = appendReg(dst, i.RB, i.RBSp)
 	case ClassBranch:
-		dst = add(i.RA, i.RASp)
+		dst = appendReg(dst, i.RA, i.RASp)
 	case ClassJump:
 		if i.Op != OpBr && i.Op != OpBsr {
-			dst = add(i.RB, i.RBSp)
+			dst = appendReg(dst, i.RB, i.RBSp)
 		}
 	case ClassIntALU, ClassIntMul:
 		switch i.Op {
 		case OpLda, OpLdah:
-			dst = add(i.RB, i.RBSp)
+			dst = appendReg(dst, i.RB, i.RBSp)
 		case OpDmfr:
-			dst = add(i.RB, DiseSpace)
+			dst = appendReg(dst, i.RB, DiseSpace)
 		case OpDmtr:
-			dst = add(i.RA, i.RASp)
+			dst = appendReg(dst, i.RA, i.RASp)
 		default:
-			dst = add(i.RA, i.RASp)
+			dst = appendReg(dst, i.RA, i.RASp)
 			if !i.UseImm {
-				dst = add(i.RB, i.RBSp)
+				dst = appendReg(dst, i.RB, i.RBSp)
 			}
 		}
 	case ClassTrap:
 		if i.Op == OpCtrap {
-			dst = add(i.RA, i.RASp)
+			dst = appendReg(dst, i.RA, i.RASp)
 		}
 	case ClassDise:
 		switch i.Op {
 		case OpDbeq, OpDbne, OpDccall:
-			dst = add(i.RA, i.RASp)
+			dst = appendReg(dst, i.RA, i.RASp)
 		}
 		if i.Op == OpDcall || i.Op == OpDccall {
 			dst = append(dst, RegRef{i.RB, DiseSpace})

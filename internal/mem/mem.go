@@ -20,11 +20,34 @@ const PageSize = 4096
 
 const pageShift = 12
 
-// Memory is a sparse 64-bit physical address space. The zero value is
-// ready to use. Memory is not safe for concurrent use; the simulator is
-// single-threaded by design.
+// pcacheSize is the number of entries in the direct-mapped page-pointer
+// cache that fronts the page map. Loads, stores, and fetches typically
+// alternate among a handful of pages (stack, heap, text), so a tiny
+// direct-mapped cache absorbs almost all page-map lookups.
+const pcacheSize = 8
+
+type pcacheEntry struct {
+	pn uint64
+	p  *[PageSize]byte
+}
+
+// Memory is a sparse 64-bit physical address space. Use New. Memory is
+// not safe for concurrent use; the simulator is single-threaded by design.
 type Memory struct {
-	pages map[uint64]*[PageSize]byte
+	pages  map[uint64]*[PageSize]byte
+	pcache [pcacheSize]pcacheEntry
+
+	// gen counts writes; it advances on every Write/WriteBytes so callers
+	// holding derived state (e.g. predecoded instructions) can detect
+	// staleness cheaply.
+	gen uint64
+
+	// onWrite hooks are called after every Write/WriteBytes with the
+	// inclusive page-number range the write touched. The pipeline's
+	// predecoded-instruction cache registers here to invalidate precisely
+	// when text is patched (breakpoint toggling, binary rewriting, DISE
+	// production installation, or self-modifying code).
+	onWrite []func(loPN, hiPN uint64)
 }
 
 // New returns an empty memory.
@@ -32,13 +55,41 @@ func New() *Memory {
 	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
 }
 
+// AddWriteHook registers fn to observe the page range of every write,
+// after the bytes have been stored. Hooks accumulate: a second core (or
+// any other derived-cache owner) sharing this memory registers its own
+// hook without detaching earlier ones.
+func (m *Memory) AddWriteHook(fn func(loPN, hiPN uint64)) {
+	m.onWrite = append(m.onWrite, fn)
+}
+
+// Gen returns the write generation: it changes whenever memory changes.
+func (m *Memory) Gen() uint64 { return m.gen }
+
+// noteWrite advances the write generation and notifies the write hooks of
+// a completed write of n bytes at addr (n >= 1).
+func (m *Memory) noteWrite(addr uint64, n int) {
+	m.gen++
+	for _, fn := range m.onWrite {
+		fn(addr>>pageShift, (addr+uint64(n)-1)>>pageShift)
+	}
+}
+
 func (m *Memory) page(addr uint64, create bool) *[PageSize]byte {
 	pn := addr >> pageShift
+	e := &m.pcache[pn&(pcacheSize-1)]
+	if e.p != nil && e.pn == pn {
+		return e.p
+	}
 	p := m.pages[pn]
-	if p == nil && create {
+	if p == nil {
+		if !create {
+			return nil
+		}
 		p = new([PageSize]byte)
 		m.pages[pn] = p
 	}
+	e.pn, e.p = pn, p
 	return p
 }
 
@@ -63,6 +114,9 @@ func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 
 // WriteBytes stores b starting at addr, allocating pages as needed.
 func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	if len(b) == 0 {
+		return
+	}
 	for i := 0; i < len(b); {
 		p := m.page(addr+uint64(i), true)
 		off := int((addr + uint64(i)) & (PageSize - 1))
@@ -73,6 +127,7 @@ func (m *Memory) WriteBytes(addr uint64, b []byte) {
 		copy(p[off:off+chunk], b[i:i+chunk])
 		i += chunk
 	}
+	m.noteWrite(addr, len(b))
 }
 
 // Read returns size bytes (1, 2, 4, or 8) at addr as a little-endian value.
@@ -103,18 +158,21 @@ func (m *Memory) Read(addr uint64, size int) uint64 {
 func (m *Memory) Write(addr uint64, size int, v uint64) {
 	if off := int(addr & (PageSize - 1)); off+size <= PageSize {
 		p := m.page(addr, true)
+		done := true
 		switch size {
 		case 1:
 			p[off] = byte(v)
-			return
 		case 2:
 			binary.LittleEndian.PutUint16(p[off:], uint16(v))
-			return
 		case 4:
 			binary.LittleEndian.PutUint32(p[off:], uint32(v))
-			return
 		case 8:
 			binary.LittleEndian.PutUint64(p[off:], v)
+		default:
+			done = false
+		}
+		if done {
+			m.noteWrite(addr, size)
 			return
 		}
 	}

@@ -53,7 +53,8 @@ func (b *booking) book(earliest uint64) uint64 {
 // (i-N)th occupant released it.
 type ring struct {
 	buf  []uint64
-	head int
+	head int // index of the oldest entry once full
+	tail int // index of the next write while filling
 	n    int
 }
 
@@ -62,16 +63,25 @@ func newRing(size int) *ring {
 }
 
 // push records a release time and returns the release time of the entry
-// being recycled (0 when the structure has never been full).
+// being recycled (0 when the structure has never been full). Rings are
+// pushed up to three times per uop (ROB, RS, LSQ), and sizes are not
+// powers of two, so the wrap is a compare rather than a modulo.
 func (r *ring) push(release uint64) (prevRelease uint64) {
 	if r.n < len(r.buf) {
-		r.buf[(r.head+r.n)%len(r.buf)] = release
+		r.buf[r.tail] = release
+		r.tail++
+		if r.tail == len(r.buf) {
+			r.tail = 0
+		}
 		r.n++
 		return 0
 	}
 	prev := r.buf[r.head]
 	r.buf[r.head] = release
-	r.head = (r.head + 1) % len(r.buf)
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
 	return prev
 }
 

@@ -26,9 +26,13 @@ type Core struct {
 	Regs [isa.NumRegs]uint64
 
 	// --- front-end / functional state ---
-	pc         uint64
-	dpc        int // 0: fetch raw instruction at pc; >=1: replay expansion
+	pc  uint64
+	dpc int // 0: fetch raw instruction at pc; >=1: replay expansion
+	// exp points at expBuf while a replacement sequence is in flight and
+	// is nil otherwise. The buffer lives in Core so that taking its
+	// address does not heap-allocate an Expansion on every step.
 	exp        *dise.Expansion
+	expBuf     dise.Expansion
 	inDiseFunc bool
 	halted     bool
 	stopReq    bool
@@ -58,6 +62,10 @@ type Core struct {
 
 	lastFetchLine uint64 // line-granular I$ probing
 	mtCursor      uint64 // fetch cursor of the DISE-function thread context
+
+	// pred is the predecoded-text cache serving all instruction fetches;
+	// it invalidates through the memory write hook.
+	pred *predecoder
 
 	stats Stats
 }
@@ -92,6 +100,8 @@ func New(cfg Config, m *mem.Memory, hier *cache.Hierarchy, bp *bpred.Predictor, 
 	}
 	c.fetchCursor = 1
 	c.lastFetchLine = ^uint64(0)
+	c.pred = newPredecoder(m)
+	m.AddWriteHook(c.pred.invalidate)
 	return c
 }
 
@@ -189,9 +199,10 @@ func (c *Core) step() {
 	inDise := dpc > 0 || inFunc
 
 	if dpc == 0 {
-		raw := isa.Decode(c.Mem.ReadInst(pc))
+		raw := c.pred.fetch(pc)
 		if exp, ok := c.Engine.Expand(raw, pc); ok {
-			c.exp = &exp
+			c.expBuf = exp
+			c.exp = &c.expBuf
 			c.stats.Expansions++
 			expExtra = exp.ExtraLatency
 			dpc = 1
@@ -209,13 +220,14 @@ func (c *Core) step() {
 	fetchAt := c.fetchAt(pc, dpc, uint64(expExtra))
 
 	// --- functional execution + control flow ---
-	ev := c.exec(inst, pc, dpc, inDise)
+	var ev execResult
+	c.exec(&inst, pc, dpc, inDise, &ev)
 
 	// --- timing: dispatch/issue/complete/commit ---
-	c.time(inst, &ev, fetchAt, inDise, inFunc)
+	c.time(&inst, &ev, fetchAt, inDise, inFunc)
 
 	// --- advance front-end functional cursor ---
-	c.advance(inst, &ev, pc, dpc)
+	c.advance(&ev, pc, dpc)
 }
 
 // fetchAt computes the fetch cycle for the uop at (pc, dpc), charging
@@ -274,9 +286,9 @@ type execResult struct {
 }
 
 // exec functionally executes inst, updating architectural state, calling
-// debugger hooks, and deciding control flow.
-func (c *Core) exec(inst isa.Inst, pc uint64, dpc int, inDise bool) execResult {
-	var ev execResult
+// debugger hooks, and deciding control flow. The result is written into
+// the caller's ev (passed in to keep the per-uop struct off the copy path).
+func (c *Core) exec(inst *isa.Inst, pc uint64, dpc int, inDise bool, ev *execResult) {
 	if c.Hooks.OnInst != nil && dpc == 0 && !c.inDiseFunc {
 		ev.trapStall += c.Hooks.OnInst(pc)
 		if ev.trapStall > 0 {
@@ -327,9 +339,9 @@ func (c *Core) exec(inst isa.Inst, pc uint64, dpc int, inDise bool) execResult {
 
 	case isa.ClassBranch:
 		taken := isa.BranchTaken(inst.Op, c.readReg(inst.RA, inst.RASp))
-		pred := c.BP.PredictCond(pc)
-		c.BP.UpdateCond(pc, taken)
-		if pred != taken {
+		// UpdateCond recomputes the pre-update prediction internally, so a
+		// separate PredictCond lookup would double the table accesses.
+		if c.BP.UpdateCond(pc, taken) {
 			ev.mispredict = true
 			c.stats.BranchMispredicts++
 		}
@@ -339,18 +351,17 @@ func (c *Core) exec(inst isa.Inst, pc uint64, dpc int, inDise bool) execResult {
 		}
 
 	case isa.ClassJump:
-		c.execJump(inst, pc, &ev)
+		c.execJump(inst, pc, ev)
 
 	case isa.ClassTrap:
-		c.execTrap(inst, pc, dpc, inDise, &ev)
+		c.execTrap(inst, pc, dpc, inDise, ev)
 
 	case isa.ClassDise:
-		c.execDise(inst, pc, dpc, &ev)
+		c.execDise(inst, pc, dpc, ev)
 	}
-	return ev
 }
 
-func (c *Core) execALU(inst isa.Inst) {
+func (c *Core) execALU(inst *isa.Inst) {
 	switch inst.Op {
 	case isa.OpLda, isa.OpLdah:
 		base := c.readReg(inst.RB, inst.RBSp)
@@ -371,7 +382,7 @@ func (c *Core) execALU(inst isa.Inst) {
 	}
 }
 
-func (c *Core) execJump(inst isa.Inst, pc uint64, ev *execResult) {
+func (c *Core) execJump(inst *isa.Inst, pc uint64, ev *execResult) {
 	ret := pc + 4
 	switch inst.Op {
 	case isa.OpBr:
@@ -409,7 +420,7 @@ func (c *Core) execJump(inst isa.Inst, pc uint64, ev *execResult) {
 	}
 }
 
-func (c *Core) execTrap(inst isa.Inst, pc uint64, dpc int, inDise bool, ev *execResult) {
+func (c *Core) execTrap(inst *isa.Inst, pc uint64, dpc int, inDise bool, ev *execResult) {
 	if inst.Op == isa.OpCtrap && !isa.BranchTaken(isa.OpBne, c.readReg(inst.RA, inst.RASp)) {
 		return // condition false: no trap, no flush — the whole point (§4.2)
 	}
@@ -424,7 +435,7 @@ func (c *Core) execTrap(inst isa.Inst, pc uint64, dpc int, inDise bool, ev *exec
 	}
 }
 
-func (c *Core) execDise(inst isa.Inst, pc uint64, dpc int, ev *execResult) {
+func (c *Core) execDise(inst *isa.Inst, pc uint64, dpc int, ev *execResult) {
 	switch inst.Op {
 	case isa.OpDbeq, isa.OpDbne:
 		if isa.BranchTaken(inst.Op, c.readReg(inst.RA, inst.RASp)) {
@@ -467,7 +478,7 @@ func (c *Core) execDise(inst isa.Inst, pc uint64, dpc int, ev *execResult) {
 // time runs the uop through the timing model and updates the front-end
 // cursors for flushes and stalls. inFunc is whether the uop was fetched
 // inside a DISE-called function (captured before exec).
-func (c *Core) time(inst isa.Inst, ev *execResult, fetchAt uint64, inDise, inFunc bool) {
+func (c *Core) time(inst *isa.Inst, ev *execResult, fetchAt uint64, inDise, inFunc bool) {
 	arrival := fetchAt + uint64(c.cfg.FrontEndDepth)
 
 	// Structure occupancy: ROB, RS, and (for memory ops) LSQ.
@@ -597,7 +608,7 @@ func (c *Core) time(inst isa.Inst, ev *execResult, fetchAt uint64, inDise, inFun
 }
 
 // advance moves the functional front-end cursor to the next uop.
-func (c *Core) advance(inst isa.Inst, ev *execResult, pc uint64, dpc int) {
+func (c *Core) advance(ev *execResult, pc uint64, dpc int) {
 	if ev.halted {
 		return
 	}
@@ -607,9 +618,10 @@ func (c *Core) advance(inst isa.Inst, ev *execResult, pc uint64, dpc int) {
 			if c.exp == nil {
 				// Resuming mid-sequence after a DISE call returned: the
 				// engine re-expands the trigger at the same PC.
-				raw := isa.Decode(c.Mem.ReadInst(c.pc))
+				raw := c.pred.fetch(c.pc)
 				if exp, ok := c.Engine.Reexpand(raw, c.pc); ok {
-					c.exp = &exp
+					c.expBuf = exp
+					c.exp = &c.expBuf
 				} else {
 					// The production vanished mid-call; resume raw.
 					c.dpc = 0
@@ -638,11 +650,16 @@ func (c *Core) advance(inst isa.Inst, ev *execResult, pc uint64, dpc int) {
 
 // searchStoreQ looks for an older in-flight store overlapping [addr,
 // addr+size). A containing store forwards its data; a partial overlap
-// delays the load until the store commits.
+// delays the load until the store commits. It walks newest-to-oldest and
+// runs once per load, so the loop body must stay modulo- and bounds-free.
 func (c *Core) searchStoreQ(addr uint64, size int) (forward bool, ready uint64) {
 	end := addr + uint64(size)
+	idx := c.storeQHead
 	for i := 0; i < len(c.storeQ); i++ {
-		idx := (c.storeQHead - 1 - i + 2*len(c.storeQ)) % len(c.storeQ)
+		if idx == 0 {
+			idx = len(c.storeQ)
+		}
+		idx--
 		s := &c.storeQ[idx]
 		if !s.valid {
 			continue

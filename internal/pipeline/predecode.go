@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// instsPerPage is the number of instruction slots in one text page.
+const instsPerPage = mem.PageSize / 4
+
+// decodedPage holds one text page decoded into instructions; slot k is the
+// instruction at page base + 4k.
+type decodedPage struct {
+	insts [instsPerPage]isa.Inst
+}
+
+// predecoder is a software code cache, the standard dynamic-binary-
+// instrumentation trick: the fetch path used to run isa.Decode on every
+// uop of every cycle, re-decoding the same loop bodies millions of times.
+// The predecoder decodes each text page once into a decodedPage and serves
+// fetches from it; a memory write hook invalidates the affected pages so
+// runtime text patching — breakpoint toggling, the binary-rewrite
+// backend's reloads, and genuinely self-modifying code — is executed
+// faithfully at the next fetch.
+type predecoder struct {
+	m     *mem.Memory
+	pages map[uint64]*decodedPage
+
+	// One-entry MRU: straight-line fetch stays on one page for up to 1024
+	// instructions, so this avoids even the map lookup on most fetches.
+	lastPN   uint64
+	lastPage *decodedPage
+
+	// [loPN, hiPN] bounds every page ever cached, so the write hook can
+	// dismiss data-segment and stack stores with two compares instead of
+	// a map probe per store.
+	loPN, hiPN uint64 // loPN > hiPN means nothing cached yet
+}
+
+func newPredecoder(m *mem.Memory) *predecoder {
+	return &predecoder{
+		m:     m,
+		pages: make(map[uint64]*decodedPage),
+		loPN:  1,
+		hiPN:  0,
+	}
+}
+
+// fetch returns the decoded instruction at pc.
+func (d *predecoder) fetch(pc uint64) isa.Inst {
+	if pc&3 == 0 {
+		if pn := mem.PageOf(pc); d.lastPage != nil && pn == d.lastPN {
+			return d.lastPage.insts[(pc&(mem.PageSize-1))>>2]
+		}
+	}
+	return d.fetchSlow(pc)
+}
+
+func (d *predecoder) fetchSlow(pc uint64) isa.Inst {
+	if pc&3 != 0 {
+		// Misaligned PCs never come from the predecoded image; decode the
+		// straddling word directly, exactly as raw fetch did.
+		return isa.Decode(d.m.ReadInst(pc))
+	}
+	pn := mem.PageOf(pc)
+	pg := d.pages[pn]
+	if pg == nil {
+		pg = new(decodedPage)
+		base := mem.PageBase(pc)
+		for i := 0; i < instsPerPage; i++ {
+			pg.insts[i] = isa.Decode(d.m.ReadInst(base + uint64(i)*4))
+		}
+		d.pages[pn] = pg
+		if d.loPN > d.hiPN {
+			d.loPN, d.hiPN = pn, pn
+		} else {
+			if pn < d.loPN {
+				d.loPN = pn
+			}
+			if pn > d.hiPN {
+				d.hiPN = pn
+			}
+		}
+	}
+	d.lastPN, d.lastPage = pn, pg
+	return pg.insts[(pc&(mem.PageSize-1))>>2]
+}
+
+// invalidate drops every cached page in the inclusive page range
+// [loPN, hiPN]. It is registered as the memory's write hook, so it runs
+// on every store; the common case — a write nowhere near cached text —
+// must return after the range compare.
+func (d *predecoder) invalidate(loPN, hiPN uint64) {
+	if hiPN < d.loPN || loPN > d.hiPN {
+		return
+	}
+	if loPN < d.loPN {
+		loPN = d.loPN
+	}
+	if hiPN > d.hiPN {
+		hiPN = d.hiPN
+	}
+	for pn := loPN; pn <= hiPN; pn++ {
+		delete(d.pages, pn)
+		if d.lastPage != nil && d.lastPN == pn {
+			d.lastPage = nil
+		}
+	}
+}

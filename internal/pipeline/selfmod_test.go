@@ -1,0 +1,92 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// TestSelfModifyingCodeInvalidatesPredecode stores a new instruction word
+// over a text location that has already been fetched (and therefore sits
+// in the core's predecoded-page cache), then re-executes it. The core must
+// run the new instruction — the same invalidation discipline the
+// binary-rewrite debugger backend and DISE trap patching depend on.
+func TestSelfModifyingCodeInvalidatesPredecode(t *testing.T) {
+	patched, err := isa.Encode(isa.Inst{Op: isa.OpAddq, RA: isa.Zero, Imm: 2, UseImm: true, RC: isa.R3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pass 1 executes the original "addq zero, #1, r3" at patch, then
+	// overwrites it in memory and loops back. Pass 2 must execute the
+	// patched "addq zero, #2, r3".
+	src := fmt.Sprintf(`
+main:
+    la  r1, patch
+    li  r2, %d
+patch:
+    addq zero, #1, r3
+    bne r4, done
+    li  r4, 1
+    stl r2, 0(r1)
+    br  patch
+done:
+    halt
+`, int32(patched))
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewDefault()
+	m.Load(p)
+	st := m.MustRun(0)
+	if !st.Halted {
+		t.Fatal("program did not halt")
+	}
+	if got := m.Core.Regs[3]; got != 2 {
+		t.Errorf("r3 = %d after patching, want 2 (stale predecoded instruction executed)", got)
+	}
+}
+
+// TestPatchOnSeparatePageInvalidates moves the patch target onto a
+// different text page than the store, so the invalidation must hit a page
+// that is cached but not the one currently executing.
+func TestPatchOnSeparatePageInvalidates(t *testing.T) {
+	patched, err := isa.Encode(isa.Inst{Op: isa.OpAddq, RA: isa.Zero, Imm: 9, UseImm: true, RC: isa.R3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A page of nop padding puts target on the next text page. Call it
+	// once, patch it, call it again.
+	pad := strings.Repeat("    nop\n", mem.PageSize/4)
+	src := fmt.Sprintf(`
+main:
+    la  r1, target
+    li  r2, %d
+    bsr ra, target
+    stl r2, 0(r1)
+    bsr ra, target
+    halt
+%s
+target:
+    addq zero, #1, r3
+    ret (ra)
+`, int32(patched), pad)
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewDefault()
+	m.Load(p)
+	st := m.MustRun(0)
+	if !st.Halted {
+		t.Fatal("program did not halt")
+	}
+	if got := m.Core.Regs[3]; got != 9 {
+		t.Errorf("r3 = %d after cross-page patch, want 9", got)
+	}
+}
