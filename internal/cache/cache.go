@@ -22,7 +22,11 @@ type Config struct {
 type Stats struct {
 	Accesses   uint64
 	Misses     uint64
-	Writebacks uint64
+	Writebacks uint64 // dirty lines this cache evicted to the next level
+	// WritebackFills counts lines installed by writebacks arriving from an
+	// upper-level cache. They are tracked separately from Accesses/Misses
+	// so victim traffic does not inflate demand miss rates.
+	WritebackFills uint64
 }
 
 // MissRate returns misses per access.
@@ -100,6 +104,21 @@ type AccessResult struct {
 // together (see Hierarchy).
 func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	c.stats.Accesses++
+	return c.access(addr, write, true)
+}
+
+// Writeback installs a dirty line evicted from an upper-level cache. It
+// behaves like a write Access but is accounted as writeback traffic
+// (Stats.WritebackFills) rather than a demand access, so victim drains do
+// not distort this cache's demand miss rate.
+func (c *Cache) Writeback(addr uint64) AccessResult {
+	c.stats.WritebackFills++
+	return c.access(addr, true, false)
+}
+
+// access is the shared probe/allocate path; demand selects whether a miss
+// counts in the demand statistics.
+func (c *Cache) access(addr uint64, write, demand bool) AccessResult {
 	c.lruClock++
 	set := c.sets[(addr>>c.setShift)&c.setMask]
 	tag := (addr >> c.setShift) / (c.setMask + 1)
@@ -113,7 +132,9 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 		}
 	}
 	// Miss: pick victim (invalid first, else least recently used).
-	c.stats.Misses++
+	if demand {
+		c.stats.Misses++
+	}
 	victim := 0
 	for i := range set {
 		if !set[i].valid {

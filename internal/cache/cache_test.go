@@ -66,6 +66,79 @@ func TestDirtyWriteback(t *testing.T) {
 	}
 }
 
+func TestWritebackAccounting(t *testing.T) {
+	c := smallCache()
+	// A writeback install is not a demand access: it allocates and dirties
+	// the line but leaves Accesses/Misses untouched.
+	res := c.Writeback(0x0000)
+	if res.Hit {
+		t.Error("cold writeback install should not report a hit")
+	}
+	s := c.Stats()
+	if s.Accesses != 0 || s.Misses != 0 {
+		t.Errorf("writeback polluted demand stats: %+v", s)
+	}
+	if s.WritebackFills != 1 {
+		t.Errorf("writeback fills = %d, want 1", s.WritebackFills)
+	}
+	// The installed line is dirty: evicting it requests a writeback.
+	c.Access(0x0100, false)
+	if res := c.Access(0x0200, false); !res.WritebackReq || res.VictimAddr != 0 {
+		t.Errorf("evicting a writeback-installed line = %+v, want dirty victim 0x0", res)
+	}
+	// A writeback hitting a resident line just dirties it.
+	c.Access(0x1000, false)
+	if res := c.Writeback(0x1000); !res.Hit {
+		t.Error("writeback to resident line should hit")
+	}
+	if got := c.Stats().WritebackFills; got != 2 {
+		t.Errorf("writeback fills = %d, want 2", got)
+	}
+}
+
+// TestDataLatencyVictimWritebackBus: an L1 dirty victim draining into L2
+// can itself evict an L2 dirty line, and that second-level victim must
+// occupy the bus — previously the install's AccessResult was dropped on
+// the floor, so the transfer was free and the install counted as an L2
+// demand access, inflating the L2 miss rate.
+func TestDataLatencyVictimWritebackBus(t *testing.T) {
+	// A direct-mapped L1 (8 sets, stride 512) over a smaller direct-mapped
+	// L2 (4 sets, stride 256) lets an address conflict in L2 without
+	// conflicting in L1, so an L1 line can outlive its L2 copy.
+	cfg := DefaultConfig()
+	cfg.L1D = Config{Name: "L1D", SizeBytes: 512, LineBytes: 64, Assoc: 1, HitLatency: 3}
+	cfg.L2 = Config{Name: "L2", SizeBytes: 256, LineBytes: 64, Assoc: 1, HitLatency: 12}
+	h := NewHierarchy(cfg)
+
+	h.DataLatency(0x000, true, 0)  // A: dirty in L1 set 0 and L2 set 0
+	h.DataLatency(0x100, true, 50) // D: L1 set 4; in L2 evicts A, leaves D dirty in set 0
+	l2Before := h.L2.Stats()
+	busBefore := h.BusBusyCycles
+
+	// B (0x200) maps to L1 set 0 and L2 set 0. Its L1 miss evicts dirty A;
+	// A's writeback install into L2 misses (D owns the set) and evicts
+	// dirty D — the bus transfer the old code dropped. B's own L2 miss
+	// then evicts the just-installed dirty A and fills from memory.
+	h.DataLatency(0x200, false, 100)
+
+	l2 := h.L2.Stats()
+	if got := l2.WritebackFills - l2Before.WritebackFills; got != 1 {
+		t.Errorf("L2 writeback fills delta = %d, want 1", got)
+	}
+	if got := l2.Accesses - l2Before.Accesses; got != 1 {
+		t.Errorf("L2 demand accesses delta = %d, want 1 (victim install must not count)", got)
+	}
+	if got := l2.Misses - l2Before.Misses; got != 1 {
+		t.Errorf("L2 demand misses delta = %d, want 1 (victim install must not count)", got)
+	}
+	// Three bus transfers: D's drain (the fixed path), A's drain (evicted
+	// by B's demand miss), and B's fill from memory.
+	transfer := h.lineTransferCycles()
+	if got := h.BusBusyCycles - busBefore; got != 3*transfer {
+		t.Errorf("bus busy delta = %d, want %d (dropped victim writeback?)", got, 3*transfer)
+	}
+}
+
 func TestVictimAddrReconstruction(t *testing.T) {
 	// Property: after a dirty line at addr X is evicted, the reported
 	// victim address has the same set index and reconstructs X's line base.

@@ -124,8 +124,13 @@ func (h *Hierarchy) DataLatency(addr uint64, write bool, now uint64) uint64 {
 		return lat
 	}
 	if r1.WritebackReq {
-		// L1 dirty victim goes to L2 (no bus), mark the L2 line dirty.
-		h.L2.Access(r1.VictimAddr, true)
+		// The L1 dirty victim drains into L2 (no bus) as writeback traffic,
+		// not a demand access. Installing it can itself evict an L2 dirty
+		// line, whose drain to memory must occupy the bus — dropping that
+		// transfer would understate bus contention on writeback-heavy runs.
+		if vr := h.L2.Writeback(r1.VictimAddr); vr.WritebackReq {
+			h.busAcquire(now + lat)
+		}
 	}
 	r2 := h.L2.Access(addr, write)
 	lat += uint64(h.cfg.L2.HitLatency)

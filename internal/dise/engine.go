@@ -12,6 +12,10 @@ type Production struct {
 	Name        string
 	Pattern     Pattern
 	Replacement []TemplateInst
+
+	// seq is the install order, assigned by Engine.Install; equal-
+	// specificity matches tie-break toward the earliest installed.
+	seq uint64
 }
 
 func (p *Production) String() string {
@@ -44,18 +48,35 @@ func DefaultConfig() Config {
 
 // Stats counts engine activity.
 type Stats struct {
-	Lookups       uint64
-	Expansions    uint64
-	InstsInserted uint64 // replacement instructions delivered
-	ReplMisses    uint64 // replacement-table capacity misses
+	Lookups         uint64
+	PatternsScanned uint64 // productions examined across all lookups
+	Expansions      uint64
+	InstsInserted   uint64 // replacement instructions delivered
+	ReplMisses      uint64 // replacement-table capacity misses
 }
+
+// numClasses sizes the per-class production index.
+const numClasses = int(isa.ClassHalt) + 1
 
 // Engine is the architectural DISE engine: pattern table, replacement
 // table, and the private DISE register file. The pipeline consults it
 // between fetch and decode.
+//
+// The pattern table is indexed by instruction class: a production whose
+// pattern pins down a class (via an opcode, opcode-class, or codeword
+// constraint) lives in that class's bucket, and patterns constrained only
+// by PC or registers live in a small any-class list. A lookup therefore
+// scans one bucket plus the any-class list instead of the whole table —
+// on the fetch path this is the difference between O(installed) and O(1)
+// when, as in the paper's debugger back ends, the installed productions
+// target stores while the stream is dominated by ALU ops and branches.
 type Engine struct {
 	cfg   Config
 	prods []*Production
+
+	byClass  [numClasses][]*Production
+	anyClass []*Production
+	seq      uint64
 
 	// Active is false while the core executes a DISE-called function;
 	// expansion is disabled there to keep replacement sequences
@@ -104,7 +125,14 @@ func (e *Engine) Install(p *Production) error {
 	if len(p.Replacement) == 0 {
 		return fmt.Errorf("dise: production %q has an empty replacement sequence", p.Name)
 	}
+	e.seq++
+	p.seq = e.seq
 	e.prods = append(e.prods, p)
+	if cls, ok := p.Pattern.ClassKey(); ok {
+		e.byClass[cls] = append(e.byClass[cls], p)
+	} else {
+		e.anyClass = append(e.anyClass, p)
+	}
 	return nil
 }
 
@@ -114,6 +142,11 @@ func (e *Engine) Remove(p *Production) bool {
 	for i, q := range e.prods {
 		if q == p {
 			e.prods = append(e.prods[:i], e.prods[i+1:]...)
+			if cls, ok := p.Pattern.ClassKey(); ok {
+				e.byClass[cls] = removeProd(e.byClass[cls], p)
+			} else {
+				e.anyClass = removeProd(e.anyClass, p)
+			}
 			if _, ok := e.resident[p]; ok {
 				delete(e.resident, p)
 				e.replUsed -= len(p.Replacement)
@@ -124,9 +157,20 @@ func (e *Engine) Remove(p *Production) bool {
 	return false
 }
 
+func removeProd(list []*Production, p *Production) []*Production {
+	for i, q := range list {
+		if q == p {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
 // Clear removes all productions.
 func (e *Engine) Clear() {
 	e.prods = nil
+	e.byClass = [numClasses][]*Production{}
+	e.anyClass = nil
 	e.resident = make(map[*Production]uint64)
 	e.replUsed = 0
 }
@@ -143,24 +187,69 @@ type Expansion struct {
 	ExtraLatency int
 }
 
+// matchBest returns the most specific production matching inst at pc,
+// consulting only the instruction's class bucket and the any-class list,
+// plus the number of productions examined. Ties break toward the earliest
+// installed, regardless of which list holds the production.
+func (e *Engine) matchBest(inst isa.Inst, pc uint64) (*Production, int) {
+	var best *Production
+	bestSpec := -1
+	consider := func(p *Production) {
+		s := p.Pattern.Specificity()
+		if s < bestSpec || (s == bestSpec && p.seq > best.seq) {
+			return
+		}
+		if p.Pattern.Matches(inst, pc) {
+			best, bestSpec = p, s
+		}
+	}
+	bucket := e.byClass[inst.Op.Class()]
+	for _, p := range bucket {
+		consider(p)
+	}
+	for _, p := range e.anyClass {
+		consider(p)
+	}
+	return best, len(bucket) + len(e.anyClass)
+}
+
 // Lookup returns the most specific matching production, if any, without
 // touching the replacement table. Ties break toward the earliest
 // installed.
 func (e *Engine) Lookup(inst isa.Inst, pc uint64) (*Production, bool) {
 	e.stats.Lookups++
-	var best *Production
-	bestSpec := -1
-	for _, p := range e.prods {
-		if p.Pattern.Matches(inst, pc) && p.Pattern.Specificity() > bestSpec {
-			best, bestSpec = p, p.Pattern.Specificity()
-		}
-	}
+	best, scanned := e.matchBest(inst, pc)
+	e.stats.PatternsScanned += uint64(scanned)
 	return best, best != nil
+}
+
+// instantiate fills buf with p's replacement instantiated against inst,
+// reusing buf's storage when it has the capacity.
+func instantiate(p *Production, inst isa.Inst, buf []isa.Inst) []isa.Inst {
+	n := len(p.Replacement)
+	if cap(buf) >= n {
+		buf = buf[:n]
+	} else {
+		buf = make([]isa.Inst, n)
+	}
+	for i := range p.Replacement {
+		buf[i] = p.Replacement[i].Instantiate(inst)
+	}
+	return buf
 }
 
 // Expand applies the most specific matching production to inst at pc. The
 // boolean result is false if the engine is inactive or nothing matches.
 func (e *Engine) Expand(inst isa.Inst, pc uint64) (Expansion, bool) {
+	return e.ExpandInto(inst, pc, nil)
+}
+
+// ExpandInto is Expand with caller-provided storage: the instantiated
+// sequence reuses buf when it fits, so the pipeline's steady-state
+// expansion path does not allocate. The returned Expansion.Insts aliases
+// buf; the caller owns both and must not reuse buf while the expansion is
+// in flight.
+func (e *Engine) ExpandInto(inst isa.Inst, pc uint64, buf []isa.Inst) (Expansion, bool) {
 	// The empty-table check matters: Expand sits on the fetch path of
 	// every uop, and most simulated machines run with no productions.
 	if !e.Active || len(e.prods) == 0 {
@@ -171,10 +260,7 @@ func (e *Engine) Expand(inst isa.Inst, pc uint64) (Expansion, bool) {
 		return Expansion{}, false
 	}
 	penalty := e.touchReplacement(p)
-	insts := make([]isa.Inst, len(p.Replacement))
-	for i, t := range p.Replacement {
-		insts[i] = t.Instantiate(inst)
-	}
+	insts := instantiate(p, inst, buf)
 	e.stats.Expansions++
 	e.stats.InstsInserted += uint64(len(insts))
 	return Expansion{Prod: p, Insts: insts, ExtraLatency: penalty}, true
@@ -218,21 +304,17 @@ func (e *Engine) touchReplacement(p *Production) int {
 // (paper §3: "the DISE engine ... begins expanding the instruction at
 // newDISEPC").
 func (e *Engine) Reexpand(inst isa.Inst, pc uint64) (Expansion, bool) {
-	var best *Production
-	bestSpec := -1
-	for _, p := range e.prods {
-		if p.Pattern.Matches(inst, pc) && p.Pattern.Specificity() > bestSpec {
-			best, bestSpec = p, p.Pattern.Specificity()
-		}
-	}
+	return e.ReexpandInto(inst, pc, nil)
+}
+
+// ReexpandInto is Reexpand with caller-provided storage, mirroring
+// ExpandInto.
+func (e *Engine) ReexpandInto(inst isa.Inst, pc uint64, buf []isa.Inst) (Expansion, bool) {
+	best, _ := e.matchBest(inst, pc)
 	if best == nil {
 		return Expansion{}, false
 	}
-	insts := make([]isa.Inst, len(best.Replacement))
-	for i, t := range best.Replacement {
-		insts[i] = t.Instantiate(inst)
-	}
-	return Expansion{Prod: best, Insts: insts}, true
+	return Expansion{Prod: best, Insts: instantiate(best, inst, buf)}, true
 }
 
 // DBranchTarget computes the DISEPC a taken DISE branch at disepc jumps

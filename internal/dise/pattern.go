@@ -5,7 +5,9 @@
 // the pattern language, replacement templates with trigger-field
 // directives (T.OP, T.RD, T.RS1, T.IMM, T.INST), the 32-entry pattern
 // table with most-specific-match semantics, a capacity-modeled replacement
-// table, and the private DISE register file.
+// table, and the private DISE register file. The pattern table is indexed
+// by instruction class (see Engine), so the per-fetch lookup scans only
+// the productions that could possibly match the fetched instruction.
 //
 // The engine itself is purely architectural: it answers "what does this
 // instruction expand to". Timing (expansion bandwidth, DISE-branch
@@ -54,6 +56,27 @@ func (p Pattern) WithRB(r isa.Reg) Pattern { p.RB = &r; return p }
 
 // WithClass constrains the pattern's instruction class.
 func (p Pattern) WithClass(c isa.Class) Pattern { p.OpClass = &c; return p }
+
+// ClassKey returns the single instruction class the pattern can match,
+// when its constraints pin one down: an Op constraint implies that op's
+// class, a Codeword constraint implies OpCodeword's class, and an OpClass
+// constraint is the class itself. Patterns constrained only by PC or
+// registers can match any class and report ok=false. The engine uses the
+// key to index its pattern table so Lookup scans one class bucket instead
+// of every installed production.
+func (p Pattern) ClassKey() (isa.Class, bool) {
+	switch {
+	case p.Op != nil:
+		// A conflicting OpClass would make the pattern match nothing;
+		// binning by the op's own class is still sound.
+		return p.Op.Class(), true
+	case p.Codeword != nil:
+		return isa.OpCodeword.Class(), true
+	case p.OpClass != nil:
+		return *p.OpClass, true
+	}
+	return 0, false
+}
 
 // Matches reports whether the instruction at pc matches the pattern.
 func (p Pattern) Matches(inst isa.Inst, pc uint64) bool {

@@ -100,11 +100,18 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
+// baselineRun is one cached undebugged run: core statistics plus the
+// memory-system counters the machine surfaces through MemStats.
+type baselineRun struct {
+	Stats pipeline.Stats
+	Mem   machine.MemStats
+}
+
 // runner caches workload builds and baseline runs across an experiment.
 type runner struct {
 	cfg       Config
 	workloads map[string]*workload.Workload
-	baselines map[string]pipeline.Stats
+	baselines map[string]baselineRun
 }
 
 func newRunner(cfg Config) *runner {
@@ -114,7 +121,7 @@ func newRunner(cfg Config) *runner {
 	return &runner{
 		cfg:       cfg,
 		workloads: make(map[string]*workload.Workload),
-		baselines: make(map[string]pipeline.Stats),
+		baselines: make(map[string]baselineRun),
 	}
 }
 
@@ -144,15 +151,21 @@ func (r *runner) workload(name string) *workload.Workload {
 
 // baseline runs the kernel undebugged, to completion.
 func (r *runner) baseline(name string) pipeline.Stats {
-	if st, ok := r.baselines[name]; ok {
-		return st
+	return r.baselineRun(name).Stats
+}
+
+// baselineRun is baseline plus the run's memory-system statistics.
+func (r *runner) baselineRun(name string) baselineRun {
+	if b, ok := r.baselines[name]; ok {
+		return b
 	}
 	w := r.workload(name)
 	m := machine.NewDefault()
 	m.Load(w.Program)
 	st := m.MustRun(0)
-	r.baselines[name] = st
-	return st
+	b := baselineRun{Stats: st, Mem: m.MemStats()}
+	r.baselines[name] = b
+	return b
 }
 
 // result is one debugged run.

@@ -88,6 +88,27 @@ func (m *Machine) MustRun(maxAppInsts uint64) pipeline.Stats {
 	return st
 }
 
+// MemStats aggregates the memory-system statistics surfaces so reports
+// and harness tables can show cache and bus behavior alongside the core's
+// pipeline.Stats.
+type MemStats struct {
+	L1I, L1D, L2  cache.Stats
+	ITLB, DTLB    cache.Stats
+	BusBusyCycles uint64
+}
+
+// MemStats snapshots the hierarchy's statistics.
+func (m *Machine) MemStats() MemStats {
+	return MemStats{
+		L1I:           m.Hier.L1I.Stats(),
+		L1D:           m.Hier.L1D.Stats(),
+		L2:            m.Hier.L2.Stats(),
+		ITLB:          m.Hier.ITLB.Stats(),
+		DTLB:          m.Hier.DTLB.Stats(),
+		BusBusyCycles: m.Hier.BusBusyCycles,
+	}
+}
+
 // ReadQuad reads an 8-byte value from simulated memory (debugger
 // convenience).
 func (m *Machine) ReadQuad(addr uint64) uint64 { return m.Mem.Read(addr, 8) }

@@ -4,10 +4,27 @@ package pipeline
 // units, cache ports, commit slots). It is a ring over absolute cycles:
 // each slot remembers which cycle it counts for, so stale entries expire
 // implicitly even after the long debugger-transition stalls.
+//
+// book used to probe linearly from the caller's earliest cycle, which
+// meant that a run of thousands of fully-booked cycles — e.g. the commit
+// slots charged across a long debugger-transition stall — was re-walked by
+// every subsequent request starting below it. The booking now maintains a
+// free-cycle cursor in the form of a known-full interval [fullLo, fullHi):
+// every cycle in it has reached the slot limit, and since per-cycle counts
+// only ever grow, a probe landing inside the interval can jump straight to
+// fullHi. The interval is extended or re-anchored by each probe, so
+// repeated requests behind a long full run cost O(1) instead of O(run).
 type booking struct {
 	cycle []uint64
 	count []uint16
 	limit uint16
+
+	// fullLo/fullHi bound the known-full interval: every cycle in
+	// [fullLo, fullHi) holds limit bookings. Empty when fullLo >= fullHi.
+	// The invariant assumes a cycle's count never decreases, which holds
+	// as long as concurrently probed cycles stay within one ring span
+	// (1<<14 cycles) — the same aliasing assumption the ring itself makes.
+	fullLo, fullHi uint64
 }
 
 func newBooking(limit int) *booking {
@@ -19,31 +36,60 @@ func newBooking(limit int) *booking {
 	}
 }
 
-func (b *booking) at(c uint64) uint16 {
-	i := c & uint64(len(b.cycle)-1)
-	if b.cycle[i] != c {
-		return 0
-	}
-	return b.count[i]
-}
-
-func (b *booking) add(c uint64) {
-	i := c & uint64(len(b.cycle)-1)
-	if b.cycle[i] != c {
-		b.cycle[i] = c
-		b.count[i] = 0
-	}
-	b.count[i]++
-}
-
 // book reserves the first cycle >= earliest with free capacity and returns
-// it.
+// it. The probe and the reservation share one ring lookup, and interval
+// maintenance runs only when the probe learned something (it walked past
+// full cycles or filled c up) — the common book touches the interval with
+// two compares and never re-probes the ring. The interval check sits
+// inside the loop so that a probe starting below fullLo still vaults the
+// known-full run when it reaches it; every cycle in [start, c) is then
+// full either by probing or by the interval, so the merge below stays
+// sound.
 func (b *booking) book(earliest uint64) uint64 {
 	c := earliest
-	for b.at(c) >= b.limit {
+	start := c
+	mask := uint64(len(b.cycle) - 1)
+	var i uint64
+	var n uint16
+	for {
+		if c >= b.fullLo && c < b.fullHi {
+			c = b.fullHi // skip the cycles already known to be full
+		}
+		i = c & mask
+		if b.cycle[i] != c {
+			n = 0
+			break
+		}
+		if n = b.count[i]; n < b.limit {
+			break
+		}
 		c++
 	}
-	b.add(c)
+	b.cycle[i] = c
+	b.count[i] = n + 1
+	// [start, c) was just probed full; c itself may have filled up too.
+	end := c
+	if n+1 >= b.limit {
+		end = c + 1
+	}
+	if end > start {
+		switch {
+		case b.fullHi <= b.fullLo:
+			// No prior knowledge: adopt the new run.
+			b.fullLo, b.fullHi = start, end
+		case start <= b.fullHi && end >= b.fullLo:
+			// Overlapping or adjacent: merge.
+			if start < b.fullLo {
+				b.fullLo = start
+			}
+			if end > b.fullHi {
+				b.fullHi = end
+			}
+		default:
+			// Disjoint: keep the newer run — future probes cluster near it.
+			b.fullLo, b.fullHi = start, end
+		}
+	}
 	return c
 }
 

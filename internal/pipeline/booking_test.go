@@ -1,0 +1,258 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/dise"
+	"repro/internal/mem"
+)
+
+// newTestCore builds a bare core for white-box store-queue tests.
+func newTestCore() *Core {
+	return New(DefaultConfig(), mem.New(), cache.NewHierarchy(cache.DefaultConfig()),
+		bpred.New(bpred.DefaultConfig()), dise.NewEngine(dise.DefaultConfig()))
+}
+
+// refBooking is the pre-cursor reference implementation: the same ring
+// without the known-full interval, probing linearly from earliest. The
+// cursor is a pure optimization, so book must return identical cycles.
+type refBooking struct {
+	cycle []uint64
+	count []uint16
+	limit uint16
+}
+
+func newRefBooking(limit int) *refBooking {
+	const ringSize = 1 << 14
+	return &refBooking{
+		cycle: make([]uint64, ringSize),
+		count: make([]uint16, ringSize),
+		limit: uint16(limit),
+	}
+}
+
+func (b *refBooking) book(earliest uint64) uint64 {
+	c := earliest
+	for {
+		i := c & uint64(len(b.cycle)-1)
+		if b.cycle[i] != c || b.count[i] < b.limit {
+			break
+		}
+		c++
+	}
+	i := c & uint64(len(b.cycle)-1)
+	if b.cycle[i] != c {
+		b.cycle[i] = c
+		b.count[i] = 0
+	}
+	b.count[i]++
+	return c
+}
+
+// TestBookingMatchesReference drives the cursor booking and the linear
+// reference with identical pseudo-random request streams — including the
+// mostly-monotonic-with-jitter pattern the pipeline produces and abrupt
+// forward jumps like debugger-transition stalls — and requires bit-equal
+// results.
+func TestBookingMatchesReference(t *testing.T) {
+	for _, limit := range []int{1, 2, 4} {
+		rng := rand.New(rand.NewSource(int64(42 + limit)))
+		b := newBooking(limit)
+		ref := newRefBooking(limit)
+		base := uint64(1)
+		for i := 0; i < 200_000; i++ {
+			switch rng.Intn(100) {
+			case 0:
+				base += uint64(rng.Intn(5000)) // stall-like jump
+			case 1, 2:
+				if base > 200 {
+					base -= uint64(rng.Intn(100)) // replayed older earliest
+				}
+			default:
+				base += uint64(rng.Intn(3))
+			}
+			earliest := base + uint64(rng.Intn(8))
+			got, want := b.book(earliest), ref.book(earliest)
+			if got != want {
+				t.Fatalf("limit=%d step=%d book(%d) = %d, reference = %d",
+					limit, i, earliest, got, want)
+			}
+		}
+	}
+}
+
+// TestBookingCursorMonotonic pins the scheduling property the timing
+// model relies on: for non-decreasing earliest requests the booked cycles
+// are non-decreasing, and a booked cycle is never before its request.
+func TestBookingCursorMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := newBooking(2)
+	earliest := uint64(1)
+	last := uint64(0)
+	for i := 0; i < 100_000; i++ {
+		earliest += uint64(rng.Intn(2))
+		at := b.book(earliest)
+		if at < earliest {
+			t.Fatalf("book(%d) = %d, before request", earliest, at)
+		}
+		if at < last {
+			t.Fatalf("book(%d) = %d went backwards (prev %d)", earliest, at, last)
+		}
+		last = at
+	}
+}
+
+// TestBookingSkipsFullRun is the cursor's reason to exist: after a long
+// fully-booked run, a request behind the run must land just past it (the
+// correctness half; the O(1) probe is what the profile shows).
+func TestBookingSkipsFullRun(t *testing.T) {
+	b := newBooking(1)
+	for c := uint64(100); c < 3100; c++ {
+		if got := b.book(100); got != c {
+			t.Fatalf("book(100) = %d, want %d", got, c)
+		}
+	}
+	if got := b.book(50); got != 50 {
+		t.Errorf("book(50) = %d, want 50 (below the full run)", got)
+	}
+	if got := b.book(200); got != 3100 {
+		t.Errorf("book(200) = %d, want 3100 (just past the full run)", got)
+	}
+}
+
+// TestRingWrapNonPowerOfTwo exercises ring push/oldest against a plain
+// slice FIFO at sizes with no power-of-two structure, where a masked wrap
+// would corrupt indices.
+func TestRingWrapNonPowerOfTwo(t *testing.T) {
+	for _, size := range []int{1, 3, 5, 7, 13} {
+		r := newRing(size)
+		var fifo []uint64
+		rng := rand.New(rand.NewSource(int64(size)))
+		v := uint64(0)
+		for i := 0; i < 10*size+17; i++ {
+			v += uint64(rng.Intn(9))
+
+			wantOld, wantFull := uint64(0), false
+			if len(fifo) == size {
+				wantOld, wantFull = fifo[0], true
+			}
+			gotOld, gotFull := r.oldest()
+			if gotOld != wantOld || gotFull != wantFull {
+				t.Fatalf("size=%d step=%d oldest() = (%d,%v), want (%d,%v)",
+					size, i, gotOld, gotFull, wantOld, wantFull)
+			}
+
+			wantPrev := uint64(0)
+			if len(fifo) == size {
+				wantPrev = fifo[0]
+				fifo = fifo[1:]
+			}
+			fifo = append(fifo, v)
+			if gotPrev := r.push(v); gotPrev != wantPrev {
+				t.Fatalf("size=%d step=%d push(%d) = %d, want %d",
+					size, i, v, gotPrev, wantPrev)
+			}
+		}
+	}
+}
+
+// TestStoreQueueBulkRetire drives the store queue via its core-level
+// helpers: pushes with ascending commit cycles, then a search far in the
+// future must bulk-retire everything in O(1) and report no forwarding.
+func TestStoreQueueBulkRetire(t *testing.T) {
+	c := newTestCore()
+	for i := uint64(0); i < 10; i++ {
+		c.pushStoreQ(0x1000+i*8, 8, 50+i, 100+i)
+	}
+	if c.storeQLive != 10 {
+		t.Fatalf("live = %d, want 10", c.storeQLive)
+	}
+	// In the forwarding window: the newest overlapping store forwards.
+	if fwd, ready, commit := c.searchStoreQ(0x1000, 8, 60); !fwd || ready != 50 || commit != 100 {
+		t.Errorf("search in window = (%v,%d,%d), want (true,50,100)", fwd, ready, commit)
+	}
+	// A late-issuing load past every commit gets no forwarding, but the
+	// entries survive: a later, earlier-issuing load may still want them.
+	if fwd, _, _ := c.searchStoreQ(0x1000, 8, 500); fwd {
+		t.Error("search past all commits still forwarded")
+	}
+	if c.storeQLive != 10 {
+		t.Errorf("live after late-load search = %d, want 10 (no destructive retire)", c.storeQLive)
+	}
+	// Once dispatch has moved past every commit, one probe retires the
+	// whole queue.
+	c.lastDispatch = 500
+	if fwd, _, _ := c.searchStoreQ(0x1000, 8, 501); fwd {
+		t.Error("search after dispatch passed all commits still forwarded")
+	}
+	if c.storeQLive != 0 {
+		t.Errorf("live after bulk retire = %d, want 0", c.storeQLive)
+	}
+	// And later pushes start a fresh generation.
+	c.pushStoreQ(0x2000, 8, 600, 700)
+	if fwd, ready, _ := c.searchStoreQ(0x2000, 8, 650); !fwd || ready != 600 {
+		t.Errorf("post-retire search = (%v,%d), want (true,600)", fwd, ready)
+	}
+}
+
+// TestStoreQueueLazyRetire: a search that passes the address filter
+// reclaims entries it walks over once dispatch has passed their commit,
+// without disturbing live ones.
+func TestStoreQueueLazyRetire(t *testing.T) {
+	c := newTestCore()
+	c.pushStoreQ(0x1000, 8, 50, 100) // dead for everyone once lastDispatch >= 100
+	c.pushStoreQ(0x2000, 8, 160, 200)
+	c.lastDispatch = 149
+	// Overlaps only the dead store: it must not forward, and the walk
+	// reclaims it (its commit is behind the dispatch cursor).
+	if fwd, _, _ := c.searchStoreQ(0x1000, 8, 150); fwd {
+		t.Error("committed store forwarded")
+	}
+	if c.storeQLive != 1 {
+		t.Errorf("live = %d, want 1 (dead entry retired, live one kept)", c.storeQLive)
+	}
+	if fwd, ready, _ := c.searchStoreQ(0x2000, 8, 150); !fwd || ready != 160 {
+		t.Errorf("live store = (%v,%d), want (true,160)", fwd, ready)
+	}
+}
+
+// TestStoreQueuePartialOverlapWaitsForDrain: a mis-sized overlap cannot
+// forward — the queue reports no forwarding but holds the load until the
+// store's commit (ready = commit), after which the caller probes the
+// cache. The old model counted these as forwards and skipped the probe,
+// deflating D-cache demand statistics.
+func TestStoreQueuePartialOverlapWaitsForDrain(t *testing.T) {
+	c := newTestCore()
+	c.pushStoreQ(0x1000, 8, 50, 100)
+	fwd, ready, commit := c.searchStoreQ(0x1004, 8, 60) // bytes 4-11 vs 0-7
+	if fwd {
+		t.Error("partial overlap must not forward")
+	}
+	if ready != 100 || commit != 100 {
+		t.Errorf("partial overlap = (ready %d, commit %d), want (100, 100)", ready, commit)
+	}
+}
+
+// TestStoreQueueLateLoadPreservesForwarding: issue cycles are not
+// monotonic in program order. A load that issues long after every store
+// commit (stalled on a dependence chain) must not destroy forwarding
+// state, because the next load can issue earlier — inside a store's
+// forwarding window — and is still entitled to forward.
+func TestStoreQueueLateLoadPreservesForwarding(t *testing.T) {
+	c := newTestCore()
+	c.pushStoreQ(0x1000, 8, 1500, 2000)
+	c.lastDispatch = 10 // dispatch cursor far behind the store's commit
+
+	// The late load (chain-stalled to cycle 5000) gets no forwarding...
+	if fwd, _, _ := c.searchStoreQ(0x1000, 8, 5000); fwd {
+		t.Error("load issued after commit forwarded")
+	}
+	// ...but the next load, issuing at cycle 300 < commit 2000, must
+	// still forward from the in-flight store.
+	if fwd, ready, _ := c.searchStoreQ(0x1000, 8, 300); !fwd || ready != 1500 {
+		t.Errorf("early-issuing load = (%v,%d), want (true,1500): late load destroyed the queue", fwd, ready)
+	}
+}

@@ -11,6 +11,21 @@
 // occupancy, and port constraints. Control-flow and DISE-induced pipeline
 // flushes stall fetch until the redirecting instruction resolves, which is
 // how the paper's flush costs for DISE branches and calls arise.
+//
+// Load/store-queue model: every store enters a store queue at dispatch
+// and stays live until its commit cycle, when it drains to the D-cache. A
+// load overlapping a live store forwards from the queue (containment at
+// the store's data-ready cycle, partial overlap at its commit); a load
+// issued after the overlapping store's commit probes the cache hierarchy
+// like any other. The queue keeps an occupancy counter and conservative
+// address bounds so the common searches — empty queue, fully drained
+// queue, or a disjoint load — cost O(1) (see storeRec in core.go).
+//
+// Bandwidth-limited resources (fetch, dispatch, commit slots, function
+// units, load ports) are modeled by per-cycle bookings with a free-cycle
+// cursor, so long fully-booked runs — e.g. commit slots across a
+// debugger-transition stall — are skipped rather than re-probed (see
+// booking.go).
 package pipeline
 
 import (
@@ -35,6 +50,11 @@ type Config struct {
 	// call/return pipeline flushes (evaluated in Figure 8).
 	MTDiseCalls bool
 
+	// PredecodePages caps the predecoded-text cache (in 4KB text pages,
+	// LRU eviction). <= 0 selects the package default
+	// (defaultPredecodePages in predecode.go).
+	PredecodePages int
+
 	// MaxUops bounds a run as a safety net against runaway programs.
 	MaxUops uint64
 }
@@ -42,16 +62,17 @@ type Config struct {
 // DefaultConfig returns the paper's core configuration.
 func DefaultConfig() Config {
 	return Config{
-		Width:         4,
-		ROBSize:       128,
-		RSSize:        80,
-		LSQSize:       64,
-		FrontEndDepth: 6, // 12-stage pipe: half of it is in front of dispatch
-		IntALUs:       4,
-		IntMuls:       1,
-		MulLatency:    7,
-		LoadPorts:     2,
-		MaxUops:       2_000_000_000,
+		Width:          4,
+		ROBSize:        128,
+		RSSize:         80,
+		LSQSize:        64,
+		FrontEndDepth:  6, // 12-stage pipe: half of it is in front of dispatch
+		IntALUs:        4,
+		IntMuls:        1,
+		MulLatency:     7,
+		LoadPorts:      2,
+		PredecodePages: defaultPredecodePages,
+		MaxUops:        2_000_000_000,
 	}
 }
 
@@ -139,6 +160,12 @@ type Stats struct {
 	Traps             uint64 // traps that charged a stall
 	FreeTraps         uint64 // traps charged as free (user transitions)
 
+	// Predecoded-text (software code cache) behavior.
+	PredecodeHits          uint64 // fetches served from an already-decoded page
+	PredecodePageDecodes   uint64 // text pages decoded (cold or after a drop)
+	PredecodeEvictions     uint64 // pages dropped by the LRU cap
+	PredecodeInvalidations uint64 // pages dropped because a store touched them
+
 	HaltPC uint64
 	Halted bool
 }
@@ -149,6 +176,16 @@ func (s Stats) IPC() float64 {
 		return 0
 	}
 	return float64(s.AppInsts) / float64(s.Cycles)
+}
+
+// PredecodeHitRate returns the fraction of page-cache lookups served
+// without decoding a page.
+func (s Stats) PredecodeHitRate() float64 {
+	total := s.PredecodeHits + s.PredecodePageDecodes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PredecodeHits) / float64(total)
 }
 
 // StoreDensity returns application stores per application instruction.

@@ -30,9 +30,14 @@ type Core struct {
 	dpc int // 0: fetch raw instruction at pc; >=1: replay expansion
 	// exp points at expBuf while a replacement sequence is in flight and
 	// is nil otherwise. The buffer lives in Core so that taking its
-	// address does not heap-allocate an Expansion on every step.
+	// address does not heap-allocate an Expansion on every step, and
+	// expScratch is the instruction storage the engine instantiates into
+	// (ExpandInto), so steady-state expansion does not allocate either.
+	// At most one expansion is in flight per core, so reusing one buffer
+	// is safe.
 	exp        *dise.Expansion
 	expBuf     dise.Expansion
+	expScratch []isa.Inst
 	inDiseFunc bool
 	halted     bool
 	stopReq    bool
@@ -57,8 +62,19 @@ type Core struct {
 	appReady  [isa.NumRegs]uint64
 	diseReady [isa.NumDiseRegs]uint64
 
-	storeQ     []storeRec
-	storeQHead int
+	// Store-queue lifetime model: entries are live from push until their
+	// commit cycle, when the store drains to the D-cache. Liveness is a
+	// generation tag (storeQGen) so the whole queue bulk-retires in O(1);
+	// the occupancy counter and conservative [storeQLo, storeQHi) address
+	// bounds let searchStoreQ answer the common cases — queue empty, or
+	// load disjoint from every in-flight store — without scanning.
+	storeQ          []storeRec
+	storeQHead      int
+	storeQGen       uint64 // current liveness generation
+	storeQLive      int    // entries carrying the current generation
+	storeQLo        uint64 // min addr over live entries (conservative)
+	storeQHi        uint64 // max addr+size over live entries (conservative)
+	storeQMaxCommit uint64 // latest commit cycle among live entries
 
 	lastFetchLine uint64 // line-granular I$ probing
 	mtCursor      uint64 // fetch cursor of the DISE-function thread context
@@ -70,16 +86,28 @@ type Core struct {
 	stats Stats
 }
 
+// storeRec is one in-flight store. It is live while gen matches the
+// core's storeQGen; retirement (lazy, at lookup time) or a bulk
+// generation bump marks it dead. After its commit cycle the store has
+// drained to the D-cache, so later loads must probe the hierarchy rather
+// than forward — forwarding forever from a committed store would bypass
+// Hierarchy.DataLatency and understate both latency and miss rates.
 type storeRec struct {
 	addr     uint64
 	size     int
 	dataDone uint64
 	commit   uint64
-	valid    bool
+	gen      uint64
 }
 
 // New builds a core around the given memory system and DISE engine.
 func New(cfg Config, m *mem.Memory, hier *cache.Hierarchy, bp *bpred.Predictor, eng *dise.Engine) *Core {
+	// The LSQ ring bounds in-flight memory ops to LSQSize, so a store
+	// queue of the same size can never overwrite a live entry.
+	sqSize := cfg.LSQSize
+	if sqSize < 1 {
+		sqSize = 1
+	}
 	c := &Core{
 		cfg:          cfg,
 		Mem:          m,
@@ -96,11 +124,14 @@ func New(cfg Config, m *mem.Memory, hier *cache.Hierarchy, bp *bpred.Predictor, 
 		robRing:      newRing(cfg.ROBSize),
 		rsRing:       newRing(cfg.RSSize),
 		lsqRing:      newRing(cfg.LSQSize),
-		storeQ:       make([]storeRec, 64),
+		storeQ:       make([]storeRec, sqSize),
 	}
 	c.fetchCursor = 1
+	c.storeQGen = 1
+	c.storeQLo, c.storeQHi = ^uint64(0), 0
+	c.expScratch = make([]isa.Inst, 0, 32)
 	c.lastFetchLine = ^uint64(0)
-	c.pred = newPredecoder(m)
+	c.pred = newPredecoder(m, cfg.PredecodePages)
 	m.AddWriteHook(c.pred.invalidate)
 	return c
 }
@@ -108,8 +139,16 @@ func New(cfg Config, m *mem.Memory, hier *cache.Hierarchy, bp *bpred.Predictor, 
 // Config returns the core configuration.
 func (c *Core) Config() Config { return c.cfg }
 
-// Stats returns run statistics so far.
-func (c *Core) Stats() Stats { return c.stats }
+// Stats returns run statistics so far, folding in the predecoded-text
+// cache counters the predecoder keeps privately.
+func (c *Core) Stats() Stats {
+	st := c.stats
+	st.PredecodeHits = c.pred.hits
+	st.PredecodePageDecodes = c.pred.decodes
+	st.PredecodeEvictions = c.pred.evictions
+	st.PredecodeInvalidations = c.pred.invalidations
+	return st
+}
 
 // SetPC sets the fetch PC (used by loaders).
 func (c *Core) SetPC(pc uint64) { c.pc = pc }
@@ -200,9 +239,10 @@ func (c *Core) step() {
 
 	if dpc == 0 {
 		raw := c.pred.fetch(pc)
-		if exp, ok := c.Engine.Expand(raw, pc); ok {
+		if exp, ok := c.Engine.ExpandInto(raw, pc, c.expScratch); ok {
 			c.expBuf = exp
 			c.exp = &c.expBuf
+			c.expScratch = exp.Insts // adopt any growth for reuse
 			c.stats.Expansions++
 			expExtra = exp.ExtraLatency
 			dpc = 1
@@ -266,8 +306,6 @@ type execResult struct {
 	isLoad, isStore bool
 	addr            uint64
 	size            int
-	forwarded       bool
-	fwdReady        uint64
 
 	// control
 	redirect     bool // conventional taken control flow
@@ -514,14 +552,22 @@ func (c *Core) time(inst *isa.Inst, ev *execResult, fetchAt uint64, inDise, inFu
 	var issueAt, doneAt uint64
 	switch {
 	case ev.isLoad:
-		fwd, fwdReady := c.searchStoreQ(ev.addr, ev.size)
-		if fwd && fwdReady+1 > issueEarliest {
-			issueEarliest = fwdReady + 1
+		fwd, ready, fwdCommit := c.searchStoreQ(ev.addr, ev.size, issueEarliest)
+		if ready+1 > issueEarliest {
+			// Forwarded data arrives at ready; a partial overlap cannot
+			// forward and instead holds the load until the store drains.
+			issueEarliest = ready + 1
 		}
 		issueAt = c.loadBook.book(issueEarliest)
-		if fwd {
+		if fwd && issueAt <= fwdCommit {
+			// The store still occupies its queue entry at the load's
+			// actual issue cycle (entries live through their commit
+			// cycle): forward at L1 speed without touching the hierarchy.
 			doneAt = issueAt + uint64(c.Hier.Config().L1D.HitLatency)
 		} else {
+			// No overlap, a partial overlap past its drain, or port
+			// contention pushed the issue past the store's commit: the
+			// load reads the D-cache like any other access.
 			doneAt = issueAt + c.Hier.DataLatency(ev.addr, false, issueAt)
 		}
 	case ev.isStore:
@@ -619,9 +665,10 @@ func (c *Core) advance(ev *execResult, pc uint64, dpc int) {
 				// Resuming mid-sequence after a DISE call returned: the
 				// engine re-expands the trigger at the same PC.
 				raw := c.pred.fetch(c.pc)
-				if exp, ok := c.Engine.Reexpand(raw, c.pc); ok {
+				if exp, ok := c.Engine.ReexpandInto(raw, c.pc, c.expScratch); ok {
 					c.expBuf = exp
 					c.exp = &c.expBuf
+					c.expScratch = exp.Insts
 				} else {
 					// The production vanished mid-call; resume raw.
 					c.dpc = 0
@@ -648,12 +695,51 @@ func (c *Core) advance(ev *execResult, pc uint64, dpc int) {
 	c.pc = pc + 4
 }
 
-// searchStoreQ looks for an older in-flight store overlapping [addr,
-// addr+size). A containing store forwards its data; a partial overlap
-// delays the load until the store commits. It walks newest-to-oldest and
-// runs once per load, so the loop body must stay modulo- and bounds-free.
-func (c *Core) searchStoreQ(addr uint64, size int) (forward bool, ready uint64) {
+// searchStoreQ looks for a live in-flight store overlapping [addr,
+// addr+size) as of cycle now (the load's earliest issue cycle). A
+// containing store forwards its data once ready (its dataDone cycle); a
+// partial overlap cannot forward and instead holds the load until the
+// store's commit (ready = commit), after which the load probes the
+// cache; a store whose commit cycle has passed has drained to the
+// D-cache and never forwards. fwdCommit reports the matched store's
+// commit cycle so the caller can re-check forwarding against the load's
+// actual (port-booked) issue cycle. The common cases — no live stores,
+// every store drained, or a load disjoint from all of them — are
+// answered by the occupancy counter and address bounds without touching
+// the queue; only genuinely ambiguous loads scan, newest-to-oldest, with
+// a modulo- and bounds-free loop body.
+func (c *Core) searchStoreQ(addr uint64, size int, now uint64) (forward bool, ready, fwdCommit uint64) {
+	if c.storeQLive == 0 {
+		return false, 0, 0
+	}
+	// Destructive retirement must not key on this load's issue cycle:
+	// issue times are not monotonic in program order, so a late-issuing
+	// load (stalled on a long dependence chain) must not clear entries a
+	// later, earlier-issuing load can still forward from. lastDispatch IS
+	// monotonic, and every future load issues strictly after its dispatch
+	// cycle, so a store committed at or before lastDispatch is dead for
+	// every load yet to come.
+	bound := c.lastDispatch
+	if c.storeQMaxCommit <= bound {
+		// Commits are booked in order, so the newest store's commit bounds
+		// them all: everything has drained for good. Bulk-retire by
+		// bumping the generation instead of clearing entries.
+		c.storeQGen++
+		c.storeQLive = 0
+		c.storeQLo, c.storeQHi = ^uint64(0), 0
+		c.storeQMaxCommit = 0
+		return false, 0, 0
+	}
+	if now > c.storeQMaxCommit {
+		// Every in-flight store drains before this load can issue: probe
+		// the cache. The entries stay — they may still forward to a load
+		// that issues earlier.
+		return false, 0, 0
+	}
 	end := addr + uint64(size)
+	if end <= c.storeQLo || addr >= c.storeQHi {
+		return false, 0, 0
+	}
 	idx := c.storeQHead
 	for i := 0; i < len(c.storeQ); i++ {
 		if idx == 0 {
@@ -661,7 +747,20 @@ func (c *Core) searchStoreQ(addr uint64, size int) (forward bool, ready uint64) 
 		}
 		idx--
 		s := &c.storeQ[idx]
-		if !s.valid {
+		if s.gen != c.storeQGen {
+			continue
+		}
+		if s.commit < now {
+			// Drained before this load issues: no forwarding. Reclaim the
+			// entry only once no future load can want it either.
+			if s.commit <= bound {
+				s.gen = 0
+				if c.storeQLive--; c.storeQLive == 0 {
+					c.storeQLo, c.storeQHi = ^uint64(0), 0
+					c.storeQMaxCommit = 0
+					return false, 0, 0
+				}
+			}
 			continue
 		}
 		sEnd := s.addr + uint64(s.size)
@@ -669,14 +768,31 @@ func (c *Core) searchStoreQ(addr uint64, size int) (forward bool, ready uint64) 
 			continue
 		}
 		if addr >= s.addr && end <= sEnd {
-			return true, s.dataDone
+			return true, s.dataDone, s.commit
 		}
-		return true, s.commit // partial overlap: wait for drain
+		// Partial overlap: the queue cannot stitch the bytes together, so
+		// the load waits for the drain and then reads the cache.
+		return false, s.commit, s.commit
 	}
-	return false, 0
+	return false, 0, 0
 }
 
 func (c *Core) pushStoreQ(addr uint64, size int, dataDone, commit uint64) {
-	c.storeQ[c.storeQHead] = storeRec{addr: addr, size: size, dataDone: dataDone, commit: commit, valid: true}
-	c.storeQHead = (c.storeQHead + 1) % len(c.storeQ)
+	s := &c.storeQ[c.storeQHead]
+	if s.gen != c.storeQGen {
+		c.storeQLive++
+	}
+	*s = storeRec{addr: addr, size: size, dataDone: dataDone, commit: commit, gen: c.storeQGen}
+	if c.storeQHead++; c.storeQHead == len(c.storeQ) {
+		c.storeQHead = 0
+	}
+	if addr < c.storeQLo {
+		c.storeQLo = addr
+	}
+	if e := addr + uint64(size); e > c.storeQHi {
+		c.storeQHi = e
+	}
+	if commit > c.storeQMaxCommit {
+		c.storeQMaxCommit = commit
+	}
 }

@@ -1,0 +1,143 @@
+package pipeline_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/machine"
+)
+
+// Store-queue lifetime tests: store-to-load forwarding is a property of
+// *in-flight* stores. Once a store commits it drains to the D-cache, and
+// later loads must pay the hierarchy's latency — the store queue must not
+// keep forwarding forever.
+
+// lifetimeProg stores to v, runs a long dependent ALU chain so the final
+// load issues well after the store's commit, evicts v's line from the
+// 2-way L1D with two same-set loads (16KB way stride), then loads v.
+const lifetimeProg = `
+.data
+.align 8
+v: .quad 0
+.space 40960
+out: .quad 0
+.text
+main:
+    la  r1, v
+    li  r2, 77
+    stq r2, 0(r1)
+CHAIN
+    lda r8, 16384(r1)
+    ldq r4, 0(r8)      ; v+16K: same L1D set as v, different tag
+    ldq r5, 16384(r8)  ; v+32K: fills the set; v's line is now the LRU victim
+CHAIN
+    ldq r6, 0(r1)      ; issued long after the store committed
+    la  r7, out
+    stq r6, 0(r7)
+    halt
+`
+
+func buildLifetimeProg(t *testing.T) *asm.Program {
+	t.Helper()
+	chain := strings.Repeat("    addq r3, #1, r3\n", 80)
+	p, err := asm.Assemble(strings.ReplaceAll(lifetimeProg, "CHAIN", chain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestStoreForwardingLifetime: the load of v at the end issues long after
+// the overlapping store's commit cycle, so it must probe the D-cache (and
+// here miss, because the line was evicted) instead of forwarding at L1-hit
+// latency from a store that drained hundreds of cycles ago. Before the
+// store-queue lifetime fix this failed: the stale entry forwarded forever
+// and the final load never touched the hierarchy.
+func TestStoreForwardingLifetime(t *testing.T) {
+	p := buildLifetimeProg(t)
+	m := machine.NewDefault()
+	m.Load(p)
+	m.MustRun(0)
+	if got := m.ReadQuad(m.Program.MustSymbol("out")); got != 77 {
+		t.Fatalf("out = %d, want 77 (functional forwarding broken)", got)
+	}
+	// L1D demand traffic: the store's drain (miss), the two evicting
+	// loads (misses), the final load of v (miss: line evicted), and the
+	// store to out (miss). A forwarded final load would leave misses at 4.
+	l1d := m.MemStats().L1D
+	if l1d.Misses != 5 {
+		t.Errorf("L1D misses = %d, want 5 (load after store commit must pay DataLatency)", l1d.Misses)
+	}
+	if l1d.Accesses != 5 {
+		t.Errorf("L1D accesses = %d, want 5", l1d.Accesses)
+	}
+}
+
+// TestStoreForwardingWindowStillForwards: a load overlapping a store that
+// has NOT yet committed keeps forwarding from the queue and never probes
+// the D-cache.
+func TestStoreForwardingWindowStillForwards(t *testing.T) {
+	p, err := asm.Assemble(`
+.data
+.align 8
+v: .quad 0
+out: .quad 0
+.text
+main:
+    la  r1, v
+    li  r2, 99
+    stq r2, 0(r1)
+    ldq r3, 0(r1)   ; in the store's forwarding window
+    la  r4, out
+    stq r3, 0(r4)
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewDefault()
+	m.Load(p)
+	m.MustRun(0)
+	if got := m.ReadQuad(m.Program.MustSymbol("out")); got != 99 {
+		t.Fatalf("out = %d, want 99", got)
+	}
+	// Only the two store drains reach the D-cache; the load forwards.
+	if acc := m.MemStats().L1D.Accesses; acc != 2 {
+		t.Errorf("L1D accesses = %d, want 2 (forwarded load must not probe)", acc)
+	}
+}
+
+// TestStoreQueueDisjointLoadsProbeCache: loads that never overlap any
+// in-flight store must always go to the hierarchy, whatever the queue
+// holds — the occupancy/address filter must not turn misses into hits.
+func TestStoreQueueDisjointLoadsProbeCache(t *testing.T) {
+	p, err := asm.Assemble(`
+.data
+.align 8
+a: .quad 1, 2, 3, 4, 5, 6, 7, 8
+b: .space 64
+.text
+main:
+    la  r1, a
+    la  r2, b
+    li  r10, 50
+loop:
+    stq r10, 0(r2)   ; keeps the store queue occupied near b
+    ldq r3, 0(r1)    ; disjoint from every store
+    ldq r4, 8(r1)
+    subq r10, #1, r10
+    bne r10, loop
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewDefault()
+	m.Load(p)
+	m.MustRun(0)
+	// 100 loads + 50 store drains; every load must have probed the L1D.
+	if acc := m.MemStats().L1D.Accesses; acc < 150 {
+		t.Errorf("L1D accesses = %d, want >= 150 (disjoint loads must probe)", acc)
+	}
+}

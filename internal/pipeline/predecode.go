@@ -8,10 +8,16 @@ import (
 // instsPerPage is the number of instruction slots in one text page.
 const instsPerPage = mem.PageSize / 4
 
+// defaultPredecodePages caps the predecoded-text cache when the
+// configuration leaves PredecodePages at zero: 64 pages = 256KB of text,
+// comfortably above every bundled kernel and the paper's benchmarks.
+const defaultPredecodePages = 64
+
 // decodedPage holds one text page decoded into instructions; slot k is the
 // instruction at page base + 4k.
 type decodedPage struct {
-	insts [instsPerPage]isa.Inst
+	insts   [instsPerPage]isa.Inst
+	lastUse uint64 // LRU stamp, updated on page switches (not per fetch)
 }
 
 // predecoder is a software code cache, the standard dynamic-binary-
@@ -22,9 +28,16 @@ type decodedPage struct {
 // runtime text patching — breakpoint toggling, the binary-rewrite
 // backend's reloads, and genuinely self-modifying code — is executed
 // faithfully at the next fetch.
+//
+// The page cache is bounded: at most maxPages pages stay decoded, with
+// least-recently-used eviction on overflow, so a workload with a huge text
+// footprint cannot grow the simulator's memory without bound. Hit,
+// decode, eviction, and invalidation counts surface in pipeline.Stats.
 type predecoder struct {
-	m     *mem.Memory
-	pages map[uint64]*decodedPage
+	m        *mem.Memory
+	pages    map[uint64]*decodedPage
+	maxPages int
+	clock    uint64 // LRU clock, advanced on every slow-path lookup
 
 	// One-entry MRU: straight-line fetch stays on one page for up to 1024
 	// instructions, so this avoids even the map lookup on most fetches.
@@ -35,14 +48,23 @@ type predecoder struct {
 	// dismiss data-segment and stack stores with two compares instead of
 	// a map probe per store.
 	loPN, hiPN uint64 // loPN > hiPN means nothing cached yet
+
+	hits          uint64 // fetches served from an already-decoded page
+	decodes       uint64 // pages decoded (cold, or re-decoded after a drop)
+	evictions     uint64 // pages dropped by the LRU cap
+	invalidations uint64 // pages dropped because a store touched them
 }
 
-func newPredecoder(m *mem.Memory) *predecoder {
+func newPredecoder(m *mem.Memory, maxPages int) *predecoder {
+	if maxPages <= 0 {
+		maxPages = defaultPredecodePages
+	}
 	return &predecoder{
-		m:     m,
-		pages: make(map[uint64]*decodedPage),
-		loPN:  1,
-		hiPN:  0,
+		m:        m,
+		pages:    make(map[uint64]*decodedPage),
+		maxPages: maxPages,
+		loPN:     1,
+		hiPN:     0,
 	}
 }
 
@@ -50,6 +72,7 @@ func newPredecoder(m *mem.Memory) *predecoder {
 func (d *predecoder) fetch(pc uint64) isa.Inst {
 	if pc&3 == 0 {
 		if pn := mem.PageOf(pc); d.lastPage != nil && pn == d.lastPN {
+			d.hits++
 			return d.lastPage.insts[(pc&(mem.PageSize-1))>>2]
 		}
 	}
@@ -63,14 +86,19 @@ func (d *predecoder) fetchSlow(pc uint64) isa.Inst {
 		return isa.Decode(d.m.ReadInst(pc))
 	}
 	pn := mem.PageOf(pc)
+	d.clock++
 	pg := d.pages[pn]
 	if pg == nil {
+		if len(d.pages) >= d.maxPages {
+			d.evictLRU()
+		}
 		pg = new(decodedPage)
 		base := mem.PageBase(pc)
 		for i := 0; i < instsPerPage; i++ {
 			pg.insts[i] = isa.Decode(d.m.ReadInst(base + uint64(i)*4))
 		}
 		d.pages[pn] = pg
+		d.decodes++
 		if d.loPN > d.hiPN {
 			d.loPN, d.hiPN = pn, pn
 		} else {
@@ -81,9 +109,34 @@ func (d *predecoder) fetchSlow(pc uint64) isa.Inst {
 				d.hiPN = pn
 			}
 		}
+	} else {
+		d.hits++
 	}
+	pg.lastUse = d.clock
 	d.lastPN, d.lastPage = pn, pg
 	return pg.insts[(pc&(mem.PageSize-1))>>2]
+}
+
+// evictLRU drops the least-recently-used page. It runs only when a decode
+// would overflow the cap, so a linear scan of the map is fine.
+func (d *predecoder) evictLRU() {
+	if d.lastPage != nil {
+		// MRU fast-path hits don't restamp the active page; refresh it so
+		// the scan never victimizes the page fetch is sitting on.
+		d.lastPage.lastUse = d.clock
+	}
+	var victim uint64
+	oldest := ^uint64(0)
+	for pn, pg := range d.pages {
+		if pg.lastUse < oldest {
+			victim, oldest = pn, pg.lastUse
+		}
+	}
+	delete(d.pages, victim)
+	d.evictions++
+	if d.lastPage != nil && d.lastPN == victim {
+		d.lastPage = nil
+	}
 }
 
 // invalidate drops every cached page in the inclusive page range
@@ -101,7 +154,10 @@ func (d *predecoder) invalidate(loPN, hiPN uint64) {
 		hiPN = d.hiPN
 	}
 	for pn := loPN; pn <= hiPN; pn++ {
-		delete(d.pages, pn)
+		if _, ok := d.pages[pn]; ok {
+			delete(d.pages, pn)
+			d.invalidations++
+		}
 		if d.lastPage != nil && d.lastPN == pn {
 			d.lastPage = nil
 		}

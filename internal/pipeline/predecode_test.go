@@ -18,7 +18,7 @@ func encodeOrDie(t *testing.T, i isa.Inst) uint32 {
 
 func TestPredecoderServesAndInvalidates(t *testing.T) {
 	m := mem.New()
-	d := newPredecoder(m)
+	d := newPredecoder(m, 0)
 	m.AddWriteHook(d.invalidate)
 
 	addq := isa.Inst{Op: isa.OpAddq, RA: isa.R1, RC: isa.R2, Imm: 5, UseImm: true}
@@ -38,7 +38,7 @@ func TestPredecoderServesAndInvalidates(t *testing.T) {
 
 func TestPredecoderWriteBytesInvalidates(t *testing.T) {
 	m := mem.New()
-	d := newPredecoder(m)
+	d := newPredecoder(m, 0)
 	m.AddWriteHook(d.invalidate)
 
 	addq := isa.Inst{Op: isa.OpAddq, RA: isa.R1, RC: isa.R2, Imm: 5, UseImm: true}
@@ -57,7 +57,7 @@ func TestPredecoderWriteBytesInvalidates(t *testing.T) {
 
 func TestPredecoderDataWritesAreCheap(t *testing.T) {
 	m := mem.New()
-	d := newPredecoder(m)
+	d := newPredecoder(m, 0)
 	m.AddWriteHook(d.invalidate)
 
 	pc := uint64(0x4000)
@@ -74,7 +74,7 @@ func TestPredecoderDataWritesAreCheap(t *testing.T) {
 
 func TestPredecoderMisalignedPCFallsBack(t *testing.T) {
 	m := mem.New()
-	d := newPredecoder(m)
+	d := newPredecoder(m, 0)
 
 	w := encodeOrDie(t, isa.Inst{Op: isa.OpAddq, RA: isa.R1, RC: isa.R2, Imm: 9, UseImm: true})
 	m.Write(0x4002, 4, uint64(w))
@@ -90,6 +90,74 @@ func TestPredecoderMisalignedPCFallsBack(t *testing.T) {
 	want = isa.Decode(m.ReadInst(0x4002))
 	if got := d.fetch(0x4002); got != want {
 		t.Errorf("misaligned fetch with cached page = %v, want %v", got, want)
+	}
+}
+
+// TestPredecoderLRUCap: the page cache must never exceed its cap, evict
+// the least-recently-used page on overflow, and re-decode an evicted page
+// transparently on the next fetch.
+func TestPredecoderLRUCap(t *testing.T) {
+	m := mem.New()
+	d := newPredecoder(m, 2)
+	m.AddWriteHook(d.invalidate)
+
+	addq := isa.Inst{Op: isa.OpAddq, RA: isa.R1, RC: isa.R2, Imm: 5, UseImm: true}
+	pcs := []uint64{0x4000, 0x8000, 0xC000} // three distinct pages
+	for _, pc := range pcs {
+		m.Write(pc, 4, uint64(encodeOrDie(t, addq)))
+	}
+
+	d.fetch(pcs[0])
+	d.fetch(pcs[1])
+	d.fetch(pcs[0]) // page 0 is now MRU of the two resident pages
+	if got := d.fetch(pcs[2]); got != addq {
+		t.Fatalf("fetch = %v, want %v", got, addq)
+	}
+	if len(d.pages) != 2 {
+		t.Errorf("cached pages = %d, want cap 2", len(d.pages))
+	}
+	if d.pages[mem.PageOf(pcs[1])] != nil {
+		t.Error("LRU page (pcs[1]) should have been evicted")
+	}
+	if d.pages[mem.PageOf(pcs[0])] == nil {
+		t.Error("recently used page (pcs[0]) was evicted")
+	}
+	if d.evictions != 1 {
+		t.Errorf("evictions = %d, want 1", d.evictions)
+	}
+	// The evicted page re-decodes correctly on demand.
+	if got := d.fetch(pcs[1]); got != addq {
+		t.Errorf("refetch of evicted page = %v, want %v", got, addq)
+	}
+	if d.decodes != 4 {
+		t.Errorf("page decodes = %d, want 4 (3 cold + 1 re-decode)", d.decodes)
+	}
+}
+
+// TestPredecoderCounters: hits, decodes, and invalidations must track the
+// fetch and patch traffic exactly.
+func TestPredecoderCounters(t *testing.T) {
+	m := mem.New()
+	d := newPredecoder(m, 0)
+	m.AddWriteHook(d.invalidate)
+
+	addq := isa.Inst{Op: isa.OpAddq, RA: isa.R1, RC: isa.R2, Imm: 5, UseImm: true}
+	pc := uint64(0x4000)
+	m.Write(pc, 4, uint64(encodeOrDie(t, addq)))
+
+	d.fetch(pc) // cold: decode
+	d.fetch(pc) // MRU hit
+	d.fetch(pc + 4)
+	if d.decodes != 1 || d.hits != 2 {
+		t.Errorf("decodes = %d hits = %d, want 1/2", d.decodes, d.hits)
+	}
+	m.Write(pc, 4, uint64(encodeOrDie(t, addq))) // patch drops the page
+	if d.invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", d.invalidations)
+	}
+	d.fetch(pc)
+	if d.decodes != 2 {
+		t.Errorf("decodes after invalidation = %d, want 2", d.decodes)
 	}
 }
 

@@ -199,6 +199,39 @@ main:
 	}
 }
 
+// TestPredecodeStatsSurface: code-cache behavior must be visible in the
+// run statistics — a tight loop is almost all predecode hits over a
+// couple of page decodes.
+func TestPredecodeStatsSurface(t *testing.T) {
+	p, err := asm.Assemble(`
+main:
+    li r10, 1000
+loop:
+    addq r1, #1, r1
+    subq r10, #1, r10
+    bne  r10, loop
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewDefault()
+	m.Load(p)
+	st := m.MustRun(0)
+	if st.PredecodePageDecodes == 0 {
+		t.Error("no page decodes recorded")
+	}
+	if st.PredecodeHits < 3000 {
+		t.Errorf("predecode hits = %d, want thousands for a tight loop", st.PredecodeHits)
+	}
+	if st.PredecodeHitRate() < 0.99 {
+		t.Errorf("predecode hit rate = %.3f, want ~1", st.PredecodeHitRate())
+	}
+	if st.PredecodeEvictions != 0 {
+		t.Errorf("evictions = %d, want 0 under the default cap", st.PredecodeEvictions)
+	}
+}
+
 // TestMispredictPenaltyScalesWithFrontEnd: deeper front ends pay more per
 // mispredicted branch.
 func TestMispredictPenaltyScalesWithFrontEnd(t *testing.T) {

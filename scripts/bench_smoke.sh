@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Benchmark smoke gate: run BenchmarkSimulatorThroughput and fail on a
+# >20% throughput regression versus the checked-in baseline
+# (scripts/bench_baseline.txt). Usage: scripts/bench_smoke.sh [benchtime]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=$(grep -Ev '^\s*(#|$)' scripts/bench_baseline.txt | head -1 | tr -d '[:space:]')
+benchtime="${1:-2s}"
+
+out=$(go test -bench='BenchmarkSimulatorThroughput$' -run=NONE -benchtime="$benchtime" -count=1 .)
+echo "$out"
+
+minsts=$(echo "$out" | awk '{for (i = 2; i <= NF; i++) if ($i == "Minsts/s") print $(i-1)}' | tail -1)
+if [ -z "$minsts" ]; then
+    echo "bench_smoke: could not parse Minsts/s from benchmark output" >&2
+    exit 1
+fi
+
+awk -v got="$minsts" -v base="$baseline" 'BEGIN {
+    floor = 0.8 * base
+    if (got + 0 < floor) {
+        printf "bench_smoke: FAIL — %.2f Minsts/s is below 80%% of the %.2f baseline (floor %.2f)\n", got, base, floor
+        exit 1
+    }
+    printf "bench_smoke: OK — %.2f Minsts/s (baseline %.2f, floor %.2f)\n", got, base, floor
+}'
