@@ -8,6 +8,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/mem"
 	"repro/internal/workload"
 )
 
@@ -224,6 +225,47 @@ func BenchmarkSimulatorThroughputDise(b *testing.B) {
 		m := machine.NewDefault()
 		m.Load(w.Program)
 		installWatchpointPatterns(b, m)
+		st := m.MustRun(500_000)
+		total += st.AppInsts
+		es := m.Engine.Stats()
+		if es.Lookups > 0 {
+			scansPerLookup = float64(es.PatternsScanned) / float64(es.Lookups)
+		}
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds()/1e6, "Minsts/s")
+	b.ReportMetric(scansPerLookup, "scans/lookup")
+}
+
+// BenchmarkSimulatorThroughputBreakpoints runs the gcc kernel with 64
+// DISE breakpoints installed at PCs the kernel never reaches — the
+// steady state of a heavily instrumented session. PC-constrained
+// productions live in the engine's PC-keyed index, so per-fetch lookups
+// away from every breakpoint scan zero productions (scans/lookup ~0)
+// and throughput stays near the uninstrumented simulator's instead of
+// degrading linearly with the breakpoint count.
+func BenchmarkSimulatorThroughputBreakpoints(b *testing.B) {
+	spec, _ := workload.ByName("gcc")
+	w := workload.MustBuild(spec, 1<<20)
+	cfg := machine.DefaultConfig()
+	cfg.Dise.PatternEntries = 128
+	b.ResetTimer()
+	total := uint64(0)
+	scansPerLookup := 0.0
+	for i := 0; i < b.N; i++ {
+		m := machine.New(cfg)
+		m.Load(w.Program)
+		// Unreached text: past the program, before the debugger append area.
+		base := w.Program.TextEnd() + 16*mem.PageSize
+		for j := 0; j < 64; j++ {
+			p := &idise.Production{
+				Name:        "bp",
+				Pattern:     idise.MatchPC(base + uint64(j)*4),
+				Replacement: []idise.TemplateInst{idise.TrapT(), idise.TInst()},
+			}
+			if err := m.Engine.Install(p); err != nil {
+				b.Fatal(err)
+			}
+		}
 		st := m.MustRun(500_000)
 		total += st.AppInsts
 		es := m.Engine.Stats()

@@ -28,6 +28,7 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -37,6 +38,7 @@ import (
 )
 
 type cli struct {
+	out     io.Writer
 	prog    *asm.Program
 	backend dise.Backend
 	session *dise.Session
@@ -55,29 +57,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "disedbg:", err)
 		os.Exit(1)
 	}
-	prog, err := asm.Assemble(string(src))
-	if err != nil {
+	if err := repl(string(src), os.Args[1], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "disedbg:", err)
 		os.Exit(1)
 	}
-	c := &cli{prog: prog, backend: dise.BackendDise}
-	fmt.Printf("loaded %s: %d instructions, entry %#x (backend: dise)\n",
-		os.Args[1], len(prog.Text), prog.Entry)
-	sc := bufio.NewScanner(os.Stdin)
+}
+
+// repl assembles src and runs the command loop until quit or EOF. main
+// binds it to the terminal; the integration test drives it with scripted
+// input and asserts on the output.
+func repl(src, name string, in io.Reader, out io.Writer) error {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return err
+	}
+	c := &cli{out: out, prog: prog, backend: dise.BackendDise}
+	fmt.Fprintf(out, "loaded %s: %d instructions, entry %#x (backend: dise)\n",
+		name, len(prog.Text), prog.Entry)
+	sc := bufio.NewScanner(in)
 	for {
-		fmt.Print("(ddb) ")
+		fmt.Fprint(out, "(ddb) ")
 		if !sc.Scan() {
-			return
+			return sc.Err()
 		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
 		if line == "quit" || line == "q" {
-			return
+			return nil
 		}
 		if err := c.command(line); err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(c.out, "error:", err)
 		}
 	}
 }
@@ -92,17 +103,12 @@ func (c *cli) command(line string) error {
 		if c.started {
 			return fmt.Errorf("cannot change backend after run")
 		}
-		m := map[string]dise.Backend{
-			"dise": dise.BackendDise, "vm": dise.BackendVirtualMemory,
-			"hw": dise.BackendHardwareReg, "step": dise.BackendSingleStep,
-			"rewrite": dise.BackendBinaryRewrite,
-		}
-		b, ok := m[fields[1]]
+		b, ok := dise.ParseBackend(fields[1])
 		if !ok {
 			return fmt.Errorf("unknown backend %q", fields[1])
 		}
 		c.backend = b
-		fmt.Println("backend:", b)
+		fmt.Fprintln(c.out, "backend:", b)
 		return nil
 	case "watch":
 		return c.watch(fields[1:])
@@ -129,12 +135,12 @@ func (c *cli) command(line string) error {
 		if c.session == nil {
 			return fmt.Errorf("not running")
 		}
-		fmt.Printf("%#x: %#x\n", a, c.session.M.ReadQuad(a))
+		fmt.Fprintf(c.out, "%#x: %#x\n", a, c.session.M.ReadQuad(a))
 		return nil
 	case "info":
 		return c.info()
 	case "list":
-		fmt.Print(c.prog.Disassemble())
+		fmt.Fprint(c.out, c.prog.Disassemble())
 		return nil
 	}
 	return fmt.Errorf("unknown command %q", fields[0])
@@ -229,7 +235,7 @@ func (c *cli) watch(args []string) error {
 		w.Addr = a
 	}
 	c.watches = append(c.watches, w)
-	fmt.Printf("watchpoint %d: %s at %#x\n", len(c.watches), spec, w.Addr)
+	fmt.Fprintf(c.out, "watchpoint %d: %s at %#x\n", len(c.watches), spec, w.Addr)
 	return nil
 }
 
@@ -260,7 +266,7 @@ func (c *cli) breakCmd(args []string) error {
 		bp.Cond = &dise.BreakCond{Addr: va, Op: cond.Op, Value: cond.Value}
 	}
 	c.breaks = append(c.breaks, bp)
-	fmt.Printf("breakpoint %d at %#x\n", len(c.breaks), a)
+	fmt.Fprintf(c.out, "breakpoint %d at %#x\n", len(c.breaks), a)
 	return nil
 }
 
@@ -273,11 +279,11 @@ func (c *cli) run() error {
 	s.OnUser = func(ev dise.UserEvent) {
 		switch {
 		case ev.Watchpoint != nil:
-			fmt.Printf("\nwatchpoint %q: new value %#x (pc %#x)\n", ev.Watchpoint.Name, ev.Value, ev.PC)
+			fmt.Fprintf(c.out, "\nwatchpoint %q: new value %#x (pc %#x)\n", ev.Watchpoint.Name, ev.Value, ev.PC)
 		case ev.Breakpoint != nil:
-			fmt.Printf("\nbreakpoint at %#x\n", ev.PC)
+			fmt.Fprintf(c.out, "\nbreakpoint at %#x\n", ev.PC)
 		default:
-			fmt.Printf("\ntrap at %#x\n", ev.PC)
+			fmt.Fprintf(c.out, "\ntrap at %#x\n", ev.PC)
 		}
 	}
 	for _, w := range c.watches {
@@ -313,23 +319,23 @@ func (c *cli) resume() error {
 func (c *cli) report() {
 	if c.session.Halted() {
 		st := c.session.M.Core.Stats()
-		fmt.Printf("program exited: %d instructions, %d cycles (IPC %.2f)\n",
+		fmt.Fprintf(c.out, "program exited: %d instructions, %d cycles (IPC %.2f)\n",
 			st.AppInsts, st.Cycles, st.IPC())
 	}
 }
 
 func (c *cli) info() error {
 	if c.session == nil {
-		fmt.Printf("backend %v, %d watchpoints, %d breakpoints (not started)\n",
+		fmt.Fprintf(c.out, "backend %v, %d watchpoints, %d breakpoints (not started)\n",
 			c.backend, len(c.watches), len(c.breaks))
 		return nil
 	}
 	st := c.session.M.Core.Stats()
 	tr := c.session.Transitions()
-	fmt.Printf("cycles %d, insts %d, IPC %.2f\n", st.Cycles, st.AppInsts, st.IPC())
-	fmt.Printf("transitions: user %d, spurious addr %d, value %d, pred %d\n",
+	fmt.Fprintf(c.out, "cycles %d, insts %d, IPC %.2f\n", st.Cycles, st.AppInsts, st.IPC())
+	fmt.Fprintf(c.out, "transitions: user %d, spurious addr %d, value %d, pred %d\n",
 		tr.User, tr.SpuriousAddr, tr.SpuriousValue, tr.SpuriousPred)
-	fmt.Printf("trap stall cycles: %d\n", st.TrapStallCycles)
+	fmt.Fprintf(c.out, "trap stall cycles: %d\n", st.TrapStallCycles)
 	return nil
 }
 

@@ -1,0 +1,96 @@
+// Command disesrv is the concurrent debug service: it multiplexes many
+// independent debug sessions over a pool of reusable simulated machines
+// and serves the line-delimited JSON protocol (internal/serve) over TCP
+// and/or stdio.
+//
+// Usage:
+//
+//	disesrv [-listen addr] [-stdio] [-workers N] [-quantum N] [-max-sessions N]
+//
+// With -listen, every accepted connection is an independent protocol
+// stream; sessions outlive their connection and can be reattached from
+// another one. With -stdio, the process itself is one protocol stream —
+// handy under inetd-style supervisors and for piping:
+//
+//	$ echo '{"op":"ping"}' | disesrv -stdio
+//	{"ok":true}
+//
+// An interactive TCP session with nc:
+//
+//	$ disesrv -listen :7070 &
+//	$ nc localhost 7070
+//	{"op":"create","program":".data\nv: .quad 0\n.text\n.entry main\nmain:\n la r1, v\n li r2, 3\nloop:\n stq r2, 0(r1)\n subq r2, #1, r2\n bne r2, loop\n halt\n"}
+//	{"ok":true,"session":1,"state":"idle","entry":4096}
+//	{"op":"watch","session":1,"sym":"v"}
+//	{"ok":true}
+//	{"op":"continue","session":1}
+//	{"ok":true,"state":"running"}
+//	{"op":"wait","session":1}
+//	{"ok":true,"state":"idle","events":[{"kind":"watch","pc":4112,"watch":"v","value":3}]}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "", "TCP address to serve (e.g. :7070)")
+		stdio       = flag.Bool("stdio", false, "serve one protocol stream on stdin/stdout")
+		workers     = flag.Int("workers", 0, "scheduler workers (default GOMAXPROCS)")
+		quantum     = flag.Uint64("quantum", 0, "instructions per scheduling slice (default 25000)")
+		maxSessions = flag.Int("max-sessions", 0, "concurrent session cap (default 1024)")
+	)
+	flag.Parse()
+	if !*stdio && *listen == "" {
+		fmt.Fprintln(os.Stderr, "disesrv: need -listen addr, -stdio, or both")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:     *workers,
+		Quantum:     *quantum,
+		MaxSessions: *maxSessions,
+	})
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	if *listen != "" {
+		l, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "disesrv:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "disesrv: listening on", l.Addr())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := srv.Serve(l); err != nil {
+				fmt.Fprintln(os.Stderr, "disesrv:", err)
+			}
+		}()
+	}
+	if *stdio {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := srv.ServeConn(stdioConn{}); err != nil {
+				fmt.Fprintln(os.Stderr, "disesrv:", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// stdioConn glues stdin/stdout into one io.ReadWriter.
+type stdioConn struct{}
+
+func (stdioConn) Read(p []byte) (int, error)  { return os.Stdin.Read(p) }
+func (stdioConn) Write(p []byte) (int, error) { return os.Stdout.Write(p) }

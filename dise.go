@@ -21,6 +21,8 @@
 //	internal/rewrite   static binary transformation
 //	internal/workload  the six SPEC2000-shaped benchmark kernels
 //	internal/harness   experiment definitions and reporting
+//	internal/serve     the concurrent debug service (sessions, machine
+//	                   pooling, wire protocol; served by cmd/disesrv)
 //
 // Quick start:
 //
@@ -40,6 +42,7 @@ import (
 	"repro/internal/iwatcher"
 	"repro/internal/machine"
 	"repro/internal/pipeline"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -137,6 +140,10 @@ func DefaultMachineConfig() MachineConfig { return machine.DefaultConfig() }
 // DefaultOptions returns the paper's defaults for a debugger back end.
 func DefaultOptions(b Backend) Options { return debug.DefaultOptions(b) }
 
+// ParseBackend resolves a short back-end selector name (dise, vm, hw,
+// step, rewrite), shared by the CLI and the debug service.
+func ParseBackend(name string) (Backend, bool) { return debug.ParseBackend(name) }
+
 // Benchmarks returns the six SPEC2000-shaped kernel specs (paper Table 1).
 func Benchmarks() []BenchmarkSpec { return workload.Specs() }
 
@@ -161,6 +168,34 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ResultTable, error) {
 // RunAllExperiments runs the full evaluation in paper order.
 func RunAllExperiments(cfg ExperimentConfig) []*ResultTable {
 	return harness.RunAll(cfg)
+}
+
+// The concurrent debug service: many independent sessions multiplexed
+// over a pool of recycled machines and a fixed set of scheduler workers,
+// with a line-delimited JSON wire protocol (see internal/serve and
+// cmd/disesrv).
+type (
+	// Server multiplexes debug sessions over pooled machines.
+	Server = serve.Server
+	// ServeConfig sizes a Server (workers, quantum, session cap).
+	ServeConfig = serve.Config
+	// ServeSession is one session in a Server.
+	ServeSession = serve.Session
+	// ServeEvent is one entry in a session's event queue.
+	ServeEvent = serve.Event
+	// MachinePool recycles machines via Machine.Reset.
+	MachinePool = serve.Pool
+)
+
+// NewServer builds a debug service and starts its workers.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// DefaultServeConfig returns the default service configuration.
+func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
+
+// NewMachinePool builds a pool keeping at most capacity idle machines.
+func NewMachinePool(cfg MachineConfig, capacity int) *MachinePool {
+	return serve.NewPool(cfg, capacity)
 }
 
 // Monitor is an iWatcher-style programmatic monitoring interface built on

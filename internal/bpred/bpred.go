@@ -89,6 +89,30 @@ func New(cfg Config) *Predictor {
 // Stats returns prediction statistics.
 func (p *Predictor) Stats() Stats { return p.stats }
 
+// Reset returns the predictor to its post-New state: all direction
+// counters weakly not-taken, global history and BTB empty, the return-
+// address stack cleared, and statistics rezeroed. A recycled predictor
+// predicts bit-identically to a fresh one.
+func (p *Predictor) Reset() {
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+		p.gshare[i] = 1
+		p.chooser[i] = 1
+	}
+	p.history = 0
+	for _, set := range p.btb {
+		for i := range set {
+			set[i] = btbEntry{}
+		}
+	}
+	p.btbClock = 0
+	for i := range p.ras {
+		p.ras[i] = 0
+	}
+	p.rasTop = 0
+	p.stats = Stats{}
+}
+
 func (p *Predictor) index(pc uint64) int {
 	return int((pc >> 2) & uint64(p.cfg.PredEntries-1))
 }

@@ -181,6 +181,15 @@ func (c *Cache) Flush() {
 	}
 }
 
+// Reset returns the cache to its post-New state: all lines invalid,
+// statistics cleared, and the LRU clock rezeroed so a recycled cache's
+// replacement decisions replay exactly like a fresh one's.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.lruClock = 0
+	c.stats = Stats{}
+}
+
 // TLB is a set-associative translation lookaside buffer over page numbers.
 type TLB struct {
 	inner *Cache
@@ -207,3 +216,7 @@ func (t *TLB) Stats() Stats { return t.inner.Stats() }
 
 // Flush invalidates all translations.
 func (t *TLB) Flush() { t.inner.Flush() }
+
+// Reset invalidates all translations and clears statistics and the LRU
+// clock (see Cache.Reset).
+func (t *TLB) Reset() { t.inner.Reset() }

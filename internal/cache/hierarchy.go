@@ -143,6 +143,20 @@ func (h *Hierarchy) DataLatency(addr uint64, write bool, now uint64) uint64 {
 	return lat + h.fill(now+lat)
 }
 
+// Reset returns the whole memory system to its post-NewHierarchy state:
+// caches and TLBs are invalidated with their statistics and LRU clocks
+// cleared, and the bus is idle again. A recycled hierarchy produces
+// bit-identical latencies and statistics to a fresh one.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.ITLB.Reset()
+	h.DTLB.Reset()
+	h.busFreeAt = 0
+	h.BusBusyCycles = 0
+}
+
 // FlushAll invalidates caches and TLBs (used when the debugger rewrites
 // text, e.g. the binary-rewriting back end's installation step).
 func (h *Hierarchy) FlushAll() {

@@ -50,6 +50,24 @@ func (b Backend) String() string {
 	return fmt.Sprintf("backend(%d)", int(b))
 }
 
+// backendByShortName maps the short selector names the CLI and the wire
+// protocol share.
+var backendByShortName = map[string]Backend{
+	"dise":    BackendDise,
+	"vm":      BackendVirtualMemory,
+	"hw":      BackendHardwareReg,
+	"step":    BackendSingleStep,
+	"rewrite": BackendBinaryRewrite,
+}
+
+// ParseBackend resolves a short back-end selector (dise, vm, hw, step,
+// rewrite) — the single source of truth for every front end, so the CLI
+// and the debug service cannot drift on accepted names.
+func ParseBackend(name string) (Backend, bool) {
+	b, ok := backendByShortName[name]
+	return b, ok
+}
+
 // DiseVariant selects the replacement-sequence organization (Figure 7).
 type DiseVariant int
 

@@ -64,17 +64,22 @@ const numClasses = int(isa.ClassHalt) + 1
 //
 // The pattern table is indexed by instruction class: a production whose
 // pattern pins down a class (via an opcode, opcode-class, or codeword
-// constraint) lives in that class's bucket, and patterns constrained only
-// by PC or registers live in a small any-class list. A lookup therefore
-// scans one bucket plus the any-class list instead of the whole table —
-// on the fetch path this is the difference between O(installed) and O(1)
-// when, as in the paper's debugger back ends, the installed productions
-// target stores while the stream is dominated by ALU ops and branches.
+// constraint) lives in that class's bucket. A class-free pattern with a PC
+// constraint — the shape every breakpoint takes — lives in a PC-keyed
+// hash, consulted once per lookup with the fetch PC, so installing many
+// breakpoints adds nothing to the per-fetch scan at other PCs. Patterns
+// constrained only by registers live in a small any-class list. A lookup
+// therefore scans one class bucket, one PC bucket (usually empty), and
+// the any-class list instead of the whole table — on the fetch path this
+// is the difference between O(installed) and O(1) when, as in the paper's
+// debugger back ends, the installed productions target stores or specific
+// PCs while the stream is dominated by ALU ops and branches.
 type Engine struct {
 	cfg   Config
 	prods []*Production
 
 	byClass  [numClasses][]*Production
+	byPC     map[uint64][]*Production
 	anyClass []*Production
 	seq      uint64
 
@@ -105,6 +110,7 @@ func NewEngine(cfg Config) *Engine {
 	return &Engine{
 		cfg:      cfg,
 		Active:   true,
+		byPC:     make(map[uint64][]*Production),
 		resident: make(map[*Production]uint64),
 	}
 }
@@ -128,12 +134,22 @@ func (e *Engine) Install(p *Production) error {
 	e.seq++
 	p.seq = e.seq
 	e.prods = append(e.prods, p)
-	if cls, ok := p.Pattern.ClassKey(); ok {
+	switch {
+	case classKeyed(p):
+		cls, _ := p.Pattern.ClassKey()
 		e.byClass[cls] = append(e.byClass[cls], p)
-	} else {
+	case p.Pattern.PC != nil:
+		e.byPC[*p.Pattern.PC] = append(e.byPC[*p.Pattern.PC], p)
+	default:
 		e.anyClass = append(e.anyClass, p)
 	}
 	return nil
+}
+
+// classKeyed reports whether p lives in a class bucket.
+func classKeyed(p *Production) bool {
+	_, ok := p.Pattern.ClassKey()
+	return ok
 }
 
 // Remove deletes a production by identity; it reports whether it was
@@ -142,9 +158,18 @@ func (e *Engine) Remove(p *Production) bool {
 	for i, q := range e.prods {
 		if q == p {
 			e.prods = append(e.prods[:i], e.prods[i+1:]...)
-			if cls, ok := p.Pattern.ClassKey(); ok {
+			switch {
+			case classKeyed(p):
+				cls, _ := p.Pattern.ClassKey()
 				e.byClass[cls] = removeProd(e.byClass[cls], p)
-			} else {
+			case p.Pattern.PC != nil:
+				pc := *p.Pattern.PC
+				if rest := removeProd(e.byPC[pc], p); len(rest) > 0 {
+					e.byPC[pc] = rest
+				} else {
+					delete(e.byPC, pc)
+				}
+			default:
 				e.anyClass = removeProd(e.anyClass, p)
 			}
 			if _, ok := e.resident[p]; ok {
@@ -170,9 +195,24 @@ func removeProd(list []*Production, p *Production) []*Production {
 func (e *Engine) Clear() {
 	e.prods = nil
 	e.byClass = [numClasses][]*Production{}
+	e.byPC = make(map[uint64][]*Production)
 	e.anyClass = nil
 	e.resident = make(map[*Production]uint64)
 	e.replUsed = 0
+}
+
+// Reset returns the engine to its post-NewEngine state: no productions,
+// expansion enabled, DISE registers and the pending call link zeroed, the
+// install sequence and replacement-table LRU clock rewound, and statistics
+// cleared. A recycled engine behaves bit-identically to a fresh one.
+func (e *Engine) Reset() {
+	e.Clear()
+	e.seq = 0
+	e.Active = true
+	e.Regs = [isa.NumDiseRegs]uint64{}
+	e.DLinkPC, e.DLinkDPC = 0, 0
+	e.lruClock = 0
+	e.stats = Stats{}
 }
 
 // Productions returns the installed productions (shared slice; callers
@@ -188,9 +228,10 @@ type Expansion struct {
 }
 
 // matchBest returns the most specific production matching inst at pc,
-// consulting only the instruction's class bucket and the any-class list,
-// plus the number of productions examined. Ties break toward the earliest
-// installed, regardless of which list holds the production.
+// consulting only the instruction's class bucket, the PC bucket for pc,
+// and the any-class list, plus the number of productions examined. Ties
+// break toward the earliest installed, regardless of which list holds the
+// production.
 func (e *Engine) matchBest(inst isa.Inst, pc uint64) (*Production, int) {
 	var best *Production
 	bestSpec := -1
@@ -207,10 +248,17 @@ func (e *Engine) matchBest(inst isa.Inst, pc uint64) (*Production, int) {
 	for _, p := range bucket {
 		consider(p)
 	}
+	var pcBucket []*Production
+	if len(e.byPC) > 0 { // skip the hash on the no-breakpoints fast path
+		pcBucket = e.byPC[pc]
+	}
+	for _, p := range pcBucket {
+		consider(p)
+	}
 	for _, p := range e.anyClass {
 		consider(p)
 	}
-	return best, len(bucket) + len(e.anyClass)
+	return best, len(bucket) + len(pcBucket) + len(e.anyClass)
 }
 
 // Lookup returns the most specific matching production, if any, without

@@ -139,6 +139,81 @@ func TestIndexSurvivesRemoveAndClear(t *testing.T) {
 	}
 }
 
+// TestBreakpointsOffThePCScanNothing pins the PC index: installing many
+// PC-constrained productions (the shape every breakpoint takes) must add
+// nothing to lookups at other PCs, and a lookup at a breakpoint PC scans
+// only that PC's bucket.
+func TestBreakpointsOffThePCScanNothing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PatternEntries = 128
+	e := NewEngine(cfg)
+	const nBreaks = 64
+	for i := 0; i < nBreaks; i++ {
+		if err := e.Install(prodFor("bp", MatchPC(0x10000+uint64(i)*4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inst := isa.Inst{Op: isa.OpAddq}
+
+	before := e.Stats().PatternsScanned
+	if _, ok := e.Lookup(inst, 0x4000); ok {
+		t.Fatal("lookup off every breakpoint matched")
+	}
+	if got := e.Stats().PatternsScanned - before; got != 0 {
+		t.Errorf("lookup away from %d breakpoints scanned %d productions, want 0", nBreaks, got)
+	}
+
+	before = e.Stats().PatternsScanned
+	p, ok := e.Lookup(inst, 0x10000+32*4)
+	if !ok || *p.Pattern.PC != 0x10000+32*4 {
+		t.Fatalf("lookup at breakpoint = (%v,%v)", p, ok)
+	}
+	if got := e.Stats().PatternsScanned - before; got != 1 {
+		t.Errorf("lookup at a breakpoint scanned %d productions, want 1", got)
+	}
+
+	// Removing a breakpoint empties its bucket; the rest keep matching.
+	var victim *Production
+	for _, p := range e.Productions() {
+		if *p.Pattern.PC == 0x10000 {
+			victim = p
+		}
+	}
+	if !e.Remove(victim) {
+		t.Fatal("remove failed")
+	}
+	if _, ok := e.Lookup(inst, 0x10000); ok {
+		t.Error("removed breakpoint still matches")
+	}
+	if _, ok := e.Lookup(inst, 0x10000+4); !ok {
+		t.Error("sibling breakpoint lost by Remove")
+	}
+}
+
+// BenchmarkLookup64Breakpoints measures the per-fetch lookup cost with 64
+// breakpoints installed, at a PC none of them match — the steady state of
+// a heavily instrumented debug session, and O(installed) before the PC
+// index existed.
+func BenchmarkLookup64Breakpoints(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.PatternEntries = 128
+	e := NewEngine(cfg)
+	for i := 0; i < 64; i++ {
+		if err := e.Install(prodFor("bp", MatchPC(0x10000+uint64(i)*4))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	inst := isa.Inst{Op: isa.OpAddq}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.Lookup(inst, 0x4000); ok {
+			b.Fatal("unexpected match")
+		}
+	}
+	st := e.Stats()
+	b.ReportMetric(float64(st.PatternsScanned)/float64(st.Lookups), "scans/lookup")
+}
+
 // TestReexpandUsesIndex pins Reexpand to the same matcher: it must find
 // the identical production Lookup does, without counting a lookup.
 func TestReexpandUsesIndex(t *testing.T) {

@@ -58,6 +58,25 @@ func New(cfg Config) *Machine {
 // NewDefault builds a machine with the paper's configuration.
 func NewDefault() *Machine { return New(DefaultConfig()) }
 
+// Reset returns the machine to its freshly-constructed state so it can be
+// recycled for another program: memory is dropped, the cache/TLB/bus
+// hierarchy, branch predictor, and DISE engine are cleared, the core
+// (including debugger hooks and page protections) is rewound, and the
+// program and its append cursors are forgotten. A recycled machine is
+// bit-identical to a machine.New with the same Config, as observed
+// through Stats, MemStats, engine and predictor statistics, and
+// architectural state — the property internal/serve's pool relies on and
+// its tests verify.
+func (m *Machine) Reset() {
+	m.Mem.Reset()
+	m.Hier.Reset()
+	m.Core.BP.Reset()
+	m.Engine.Reset()
+	m.Core.Reset()
+	m.Program = nil
+	m.textAppend, m.dataAppend = 0, 0
+}
+
 // Load copies a program image into memory, initializes the stack pointer,
 // and sets the entry point.
 func (m *Machine) Load(p *asm.Program) {

@@ -66,6 +66,19 @@ func (m *Memory) AddWriteHook(fn func(loPN, hiPN uint64)) {
 // Gen returns the write generation: it changes whenever memory changes.
 func (m *Memory) Gen() uint64 { return m.gen }
 
+// Reset returns the memory to its freshly-constructed state: every page is
+// dropped, the page-pointer cache is cleared (its entries point into the
+// dropped pages), and the write generation restarts at zero. Registered
+// write hooks survive — derived caches such as the pipeline's predecoder
+// attach once per owner and must keep observing the recycled memory.
+// Hooks are not notified of the reset; owners of derived state reset it
+// explicitly (machine.Machine.Reset does).
+func (m *Memory) Reset() {
+	m.pages = make(map[uint64]*[PageSize]byte)
+	m.pcache = [pcacheSize]pcacheEntry{}
+	m.gen = 0
+}
+
 // noteWrite advances the write generation and notifies the write hooks of
 // a completed write of n bytes at addr (n >= 1).
 func (m *Memory) noteWrite(addr uint64, n int) {

@@ -46,6 +46,9 @@ func newBooking(limit int) *booking {
 // full either by probing or by the interval, so the merge below stays
 // sound.
 func (b *booking) book(earliest uint64) uint64 {
+	if b.limit == 1 {
+		return b.book1(earliest)
+	}
 	c := earliest
 	start := c
 	mask := uint64(len(b.cycle) - 1)
@@ -72,25 +75,65 @@ func (b *booking) book(earliest uint64) uint64 {
 	if n+1 >= b.limit {
 		end = c + 1
 	}
-	if end > start {
-		switch {
-		case b.fullHi <= b.fullLo:
-			// No prior knowledge: adopt the new run.
-			b.fullLo, b.fullHi = start, end
-		case start <= b.fullHi && end >= b.fullLo:
-			// Overlapping or adjacent: merge.
-			if start < b.fullLo {
-				b.fullLo = start
-			}
-			if end > b.fullHi {
-				b.fullHi = end
-			}
-		default:
-			// Disjoint: keep the newer run — future probes cluster near it.
-			b.fullLo, b.fullHi = start, end
-		}
-	}
+	b.noteFull(start, end)
 	return c
+}
+
+// book1 is book specialized for single-slot resources (limit == 1), the
+// common port shape — e.g. the multiplier with the paper's configuration.
+// A booked cycle is full by definition, so the probe never loads the count
+// array (slot occupancy is just cycle[i] == c) and every reservation
+// extends the known-full interval by exactly one cycle.
+func (b *booking) book1(earliest uint64) uint64 {
+	c := earliest
+	start := c
+	mask := uint64(len(b.cycle) - 1)
+	var i uint64
+	for {
+		if c >= b.fullLo && c < b.fullHi {
+			c = b.fullHi // skip the cycles already known to be full
+		}
+		i = c & mask
+		if b.cycle[i] != c {
+			break
+		}
+		c++
+	}
+	b.cycle[i] = c
+	b.count[i] = 1 // keep the count coherent for inspection
+	b.noteFull(start, c+1)
+	return c
+}
+
+// noteFull records that every cycle in [start, end) is fully booked,
+// merging with or replacing the known-full interval.
+func (b *booking) noteFull(start, end uint64) {
+	if end <= start {
+		return
+	}
+	switch {
+	case b.fullHi <= b.fullLo:
+		// No prior knowledge: adopt the new run.
+		b.fullLo, b.fullHi = start, end
+	case start <= b.fullHi && end >= b.fullLo:
+		// Overlapping or adjacent: merge.
+		if start < b.fullLo {
+			b.fullLo = start
+		}
+		if end > b.fullHi {
+			b.fullHi = end
+		}
+	default:
+		// Disjoint: keep the newer run — future probes cluster near it.
+		b.fullLo, b.fullHi = start, end
+	}
+}
+
+// reset returns the booking to its post-newBooking state.
+func (b *booking) reset() {
+	clear(b.cycle)
+	clear(b.count)
+	b.fullLo, b.fullHi = 0, 0
 }
 
 // ring is a fixed-size history of cycle timestamps, used to model
@@ -137,4 +180,10 @@ func (r *ring) oldest() (uint64, bool) {
 		return 0, false
 	}
 	return r.buf[r.head], true
+}
+
+// reset returns the ring to its post-newRing state.
+func (r *ring) reset() {
+	clear(r.buf)
+	r.head, r.tail, r.n = 0, 0, 0
 }

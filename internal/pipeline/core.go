@@ -150,6 +150,49 @@ func (c *Core) Stats() Stats {
 	return st
 }
 
+// Reset returns the core to its post-New state so a pooled machine can be
+// recycled: debugger hooks and page protections are detached, the
+// architectural register file, front-end cursors, timing books and rings,
+// the store queue, the predecoded-text cache, and all statistics return
+// to their freshly-constructed values. The configuration and the attached
+// memory-system objects are kept; callers reset those separately
+// (machine.Machine.Reset resets the whole composition).
+func (c *Core) Reset() {
+	c.Hooks = Hooks{}
+	c.Prot.Clear()
+	c.Regs = [isa.NumRegs]uint64{}
+	c.pc, c.dpc = 0, 0
+	c.exp = nil
+	c.expBuf = dise.Expansion{}
+	c.expScratch = c.expScratch[:0]
+	c.inDiseFunc = false
+	c.halted = false
+	c.stopReq = false
+	c.fetchCursor = 1
+	c.fetchBook.reset()
+	c.dispatchBook.reset()
+	c.commitBook.reset()
+	c.lastFetch, c.lastDispatch, c.lastCommit = 0, 0, 0
+	c.aluBook.reset()
+	c.mulBook.reset()
+	c.loadBook.reset()
+	c.robRing.reset()
+	c.rsRing.reset()
+	c.lsqRing.reset()
+	c.appReady = [isa.NumRegs]uint64{}
+	c.diseReady = [isa.NumDiseRegs]uint64{}
+	clear(c.storeQ)
+	c.storeQHead = 0
+	c.storeQGen = 1
+	c.storeQLive = 0
+	c.storeQLo, c.storeQHi = ^uint64(0), 0
+	c.storeQMaxCommit = 0
+	c.lastFetchLine = ^uint64(0)
+	c.mtCursor = 0
+	c.pred.reset()
+	c.stats = Stats{}
+}
+
 // SetPC sets the fetch PC (used by loaders).
 func (c *Core) SetPC(pc uint64) { c.pc = pc }
 

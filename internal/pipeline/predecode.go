@@ -139,6 +139,18 @@ func (d *predecoder) evictLRU() {
 	}
 }
 
+// reset drops every decoded page and rezeroes the clocks, bounds, and
+// counters, returning the predecoder to its post-newPredecoder state. The
+// memory write hook registered at construction keeps pointing here, so a
+// recycled core's text cache invalidates exactly like a fresh one's.
+func (d *predecoder) reset() {
+	d.pages = make(map[uint64]*decodedPage)
+	d.clock = 0
+	d.lastPN, d.lastPage = 0, nil
+	d.loPN, d.hiPN = 1, 0
+	d.hits, d.decodes, d.evictions, d.invalidations = 0, 0, 0, 0
+}
+
 // invalidate drops every cached page in the inclusive page range
 // [loPN, hiPN]. It is registered as the memory's write hook, so it runs
 // on every store; the common case — a write nowhere near cached text —

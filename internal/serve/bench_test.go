@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/debug"
+	"repro/internal/workload"
+)
+
+// BenchmarkServeConcurrent measures service throughput at 1, 8, and 64
+// concurrent sessions: every session runs the same gcc-shaped kernel for
+// a fixed instruction budget, and the benchmark reports aggregate
+// simulated Minsts/s and completed sessions/sec. Workers default to
+// GOMAXPROCS, so on an M-core runner aggregate throughput should
+// approach M× a single session's (the sessions share nothing but the
+// scheduler); at 64 sessions it also exercises machine recycling — only
+// the first max-concurrency wave builds machines, later waves run on
+// pool returns.
+func BenchmarkServeConcurrent(b *testing.B) {
+	spec, ok := workload.ByName("gcc")
+	if !ok {
+		b.Fatal("no gcc workload")
+	}
+	w := workload.MustBuild(spec, 1<<20)
+	const perSession = 200_000 // simulated app instructions per session
+
+	for _, n := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			srv := New(Config{Quantum: 25_000, MaxSessions: n})
+			defer srv.Close()
+			totalInsts := uint64(0)
+			sessionsDone := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sessions := make([]*Session, n)
+				for j := range sessions {
+					s, err := srv.Create(w.Program, debug.DefaultOptions(debug.BackendDise))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := s.Continue(perSession); err != nil {
+						b.Fatal(err)
+					}
+					sessions[j] = s
+				}
+				for _, s := range sessions {
+					s.Wait()
+					st, _ := s.Stats()
+					if st.AppInsts != perSession {
+						b.Fatalf("session ran %d insts, want %d", st.AppInsts, perSession)
+					}
+					totalInsts += st.AppInsts
+					sessionsDone++
+					s.Close()
+				}
+			}
+			b.StopTimer()
+			secs := b.Elapsed().Seconds()
+			b.ReportMetric(float64(totalInsts)/secs/1e6, "Minsts/s")
+			b.ReportMetric(float64(sessionsDone)/secs, "sessions/s")
+		})
+	}
+}
+
+// BenchmarkPoolRecycle isolates the cost of one Put+Get cycle — the full
+// machine Reset — against building a machine from scratch.
+func BenchmarkPoolRecycle(b *testing.B) {
+	cfg := DefaultConfig().Machine
+	pool := NewPool(cfg, 1)
+	m := pool.Get()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Put(m)
+		m = pool.Get()
+	}
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// PoolStats counts pool activity.
+type PoolStats struct {
+	Created  uint64 // machines built because the pool was empty
+	Reused   uint64 // machines served from the idle list
+	Recycled uint64 // machines reset and returned to the idle list
+	Dropped  uint64 // machines discarded because the idle list was full
+}
+
+// Pool is a free list of simulated machines sharing one configuration.
+// Building a machine allocates megabytes of cache, predictor, and
+// predecode state; a debug service creating and destroying sessions at
+// high rate would spend its time in the allocator without one. Put resets
+// the machine (machine.Machine.Reset) before parking it, so Get always
+// returns a machine that is bit-identical to a freshly constructed one —
+// TestPoolRecycledMachineEquivalentToFresh holds the pool to exactly
+// that.
+type Pool struct {
+	mu       sync.Mutex
+	cfg      machine.Config
+	idle     []*machine.Machine
+	reserved int // Puts past the cap check, resetting outside the lock
+	cap      int
+	stats    PoolStats
+}
+
+// NewPool builds a pool that keeps at most capacity idle machines of the
+// given configuration. capacity <= 0 keeps none (every Put discards).
+func NewPool(cfg machine.Config, capacity int) *Pool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Pool{cfg: cfg, cap: capacity}
+}
+
+// Get returns an idle machine or builds a new one.
+func (p *Pool) Get() *machine.Machine {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		m := p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+		p.stats.Reused++
+		p.mu.Unlock()
+		return m
+	}
+	p.stats.Created++
+	p.mu.Unlock()
+	// Build outside the lock: machine construction is the expensive part.
+	return machine.New(p.cfg)
+}
+
+// Put resets m and parks it for reuse; a full idle list discards it
+// without paying for the reset. m must no longer be shared — the caller
+// transfers ownership. The reservation counter keeps the cap strict
+// while the (multi-megabyte) reset runs outside the lock.
+func (p *Pool) Put(m *machine.Machine) {
+	if m == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.idle)+p.reserved >= p.cap {
+		p.stats.Dropped++
+		p.mu.Unlock()
+		return
+	}
+	p.reserved++
+	p.stats.Recycled++
+	p.mu.Unlock()
+
+	m.Reset()
+
+	p.mu.Lock()
+	p.reserved--
+	p.idle = append(p.idle, m)
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of pool activity.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Idle returns how many machines are parked.
+func (p *Pool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
+}

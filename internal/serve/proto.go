@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+
+	"repro/internal/debug"
+	"repro/internal/pipeline"
+)
+
+// The wire protocol is line-delimited JSON: one Request per line in, one
+// Response per line out, in request order. Events are not pushed
+// asynchronously — they queue per session and are returned by the wait
+// and events ops — so a connection is a plain request/response stream
+// that works identically over TCP and stdio, and a session survives its
+// connection (reattach with the attach op). A minimal session:
+//
+//	{"op":"create","program":". . ."}            -> {"ok":true,"session":1,...}
+//	{"op":"break","session":1,"sym":"loop"}      -> {"ok":true}
+//	{"op":"continue","session":1}                -> {"ok":true,"state":"running"}
+//	{"op":"wait","session":1}                    -> {"ok":true,"state":"idle","events":[{"kind":"break","pc":...}]}
+//	{"op":"stats","session":1}                   -> {"ok":true,"stats":{...}}
+//	{"op":"close","session":1}                   -> {"ok":true}
+//
+// Blocking ops (wait) block the connection; clients wanting concurrent
+// sessions open one connection per session or multiplex with seq.
+
+// Request is one protocol request.
+type Request struct {
+	// Seq is echoed verbatim in the response for client-side matching.
+	Seq uint64 `json:"seq,omitempty"`
+	// Op selects the operation: create, attach, list, watch, break,
+	// continue, step, wait, events, stats, read, close, ping.
+	Op string `json:"op"`
+	// Session addresses every op except create, list, and ping.
+	Session uint64 `json:"session,omitempty"`
+
+	// create: assembly source and back end name
+	// (dise|vm|hw|step|rewrite; default dise).
+	Program string `json:"program,omitempty"`
+	Backend string `json:"backend,omitempty"`
+
+	// watch: watched symbol/address, kind (scalar|indirect|range; default
+	// scalar), size in bytes (default 8), range length, optional name and
+	// condition. break: sym is the breakpoint PC.
+	Sym    string    `json:"sym,omitempty"`
+	Kind   string    `json:"kind,omitempty"`
+	Name   string    `json:"name,omitempty"`
+	Size   int       `json:"size,omitempty"`
+	Length uint64    `json:"length,omitempty"`
+	Cond   *CondSpec `json:"cond,omitempty"`
+
+	// continue: instruction budget (0 = until halt/event). step: count.
+	Budget uint64 `json:"budget,omitempty"`
+	Count  uint64 `json:"count,omitempty"`
+
+	// read: symbol or address of the quad to examine.
+	Addr string `json:"addr,omitempty"`
+}
+
+// CondSpec is a JSON watchpoint/breakpoint condition: op is one of
+// ==, !=, <, >; for conditional breakpoints sym names the scalar.
+type CondSpec struct {
+	Op    string `json:"op"`
+	Value uint64 `json:"value"`
+	Sym   string `json:"sym,omitempty"`
+}
+
+// StatsJSON is the stats op's payload.
+type StatsJSON struct {
+	Cycles    uint64  `json:"cycles"`
+	AppInsts  uint64  `json:"app_insts"`
+	DiseUops  uint64  `json:"dise_uops"`
+	FuncInsts uint64  `json:"func_insts"`
+	IPC       float64 `json:"ipc"`
+
+	User          uint64 `json:"user_transitions"`
+	SpuriousAddr  uint64 `json:"spurious_addr"`
+	SpuriousValue uint64 `json:"spurious_value"`
+	SpuriousPred  uint64 `json:"spurious_pred"`
+	TrapStalls    uint64 `json:"trap_stall_cycles"`
+}
+
+func statsJSON(st pipeline.Stats, tr debug.TransitionStats) *StatsJSON {
+	return &StatsJSON{
+		Cycles:        st.Cycles,
+		AppInsts:      st.AppInsts,
+		DiseUops:      st.DiseUops,
+		FuncInsts:     st.FuncInsts,
+		IPC:           st.IPC(),
+		User:          tr.User,
+		SpuriousAddr:  tr.SpuriousAddr,
+		SpuriousValue: tr.SpuriousValue,
+		SpuriousPred:  tr.SpuriousPred,
+		TrapStalls:    st.TrapStallCycles,
+	}
+}
+
+// Response is one protocol response.
+type Response struct {
+	Seq      uint64     `json:"seq,omitempty"`
+	OK       bool       `json:"ok"`
+	Err      string     `json:"err,omitempty"`
+	Session  uint64     `json:"session,omitempty"`
+	State    string     `json:"state,omitempty"`
+	Entry    uint64     `json:"entry,omitempty"`
+	Events   []Event    `json:"events,omitempty"`
+	Stats    *StatsJSON `json:"stats,omitempty"`
+	Value    *uint64    `json:"value,omitempty"`
+	Sessions []uint64   `json:"sessions,omitempty"`
+}
+
+// ServeConn handles one protocol connection until EOF or a read error.
+// Sessions created on the connection outlive it; close them explicitly
+// or let Server.Close reap them.
+func (srv *Server) ServeConn(rw io.ReadWriter) error {
+	sc := bufio.NewScanner(rw)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20) // programs ride in requests
+	enc := json.NewEncoder(rw)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal([]byte(line), &req); err != nil {
+			resp.Err = fmt.Sprintf("bad request: %v", err)
+		} else {
+			resp = srv.handle(&req)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Serve accepts connections from l and serves each on its own goroutine
+// until the listener fails (e.g. it was closed).
+func (srv *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = srv.ServeConn(conn)
+		}()
+	}
+}
+
+// handle executes one request.
+func (srv *Server) handle(req *Request) Response {
+	resp, err := srv.handleErr(req)
+	resp.Seq = req.Seq
+	if err != nil {
+		resp.OK = false
+		resp.Err = err.Error()
+	} else {
+		resp.OK = true
+	}
+	return resp
+}
+
+func (srv *Server) handleErr(req *Request) (Response, error) {
+	switch req.Op {
+	case "ping":
+		return Response{}, nil
+	case "list":
+		return Response{Sessions: srv.Sessions()}, nil
+	case "create":
+		name := req.Backend
+		if name == "" {
+			name = "dise"
+		}
+		backend, ok := debug.ParseBackend(name)
+		if !ok {
+			return Response{}, fmt.Errorf("unknown backend %q", req.Backend)
+		}
+		s, err := srv.CreateSource(req.Program, debug.DefaultOptions(backend))
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Session: s.ID, State: s.State().String(), Entry: s.Program().Entry}, nil
+	}
+
+	// Every other op addresses a session.
+	s, ok := srv.Attach(req.Session)
+	if !ok {
+		return Response{}, fmt.Errorf("no session %d", req.Session)
+	}
+	switch req.Op {
+	case "attach":
+		return Response{Session: s.ID, State: s.State().String(), Entry: s.Program().Entry}, nil
+	case "watch":
+		w, err := s.watchpointFromRequest(req)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{}, s.Watch(w)
+	case "break":
+		b, err := s.breakpointFromRequest(req)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{}, s.Break(b)
+	case "continue":
+		if err := s.Continue(req.Budget); err != nil {
+			return Response{State: s.State().String()}, err
+		}
+		return Response{State: StateRunning.String()}, nil
+	case "step":
+		if err := s.Step(req.Count); err != nil {
+			return Response{State: s.State().String()}, err
+		}
+		return Response{State: StateRunning.String()}, nil
+	case "wait":
+		st := s.Wait()
+		return Response{State: st.String(), Events: s.Events()}, nil
+	case "events":
+		return Response{State: s.State().String(), Events: s.Events()}, nil
+	case "stats":
+		st, tr := s.Stats()
+		return Response{State: s.State().String(), Stats: statsJSON(st, tr)}, nil
+	case "read":
+		addr, err := s.resolve(req.Addr)
+		if err != nil {
+			return Response{}, err
+		}
+		v, err := s.ReadQuad(addr)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Value: &v}, nil
+	case "close":
+		s.Close()
+		return Response{State: StateClosed.String()}, nil
+	}
+	return Response{}, fmt.Errorf("unknown op %q", req.Op)
+}
+
+// resolve turns a symbol name or numeric literal into an address.
+func (s *Session) resolve(spec string) (uint64, error) {
+	if spec == "" {
+		return 0, fmt.Errorf("empty symbol/address")
+	}
+	if a, err := s.prog.Symbol(spec); err == nil {
+		return a, nil
+	}
+	if v, err := strconv.ParseUint(spec, 0, 64); err == nil {
+		return v, nil
+	}
+	return 0, fmt.Errorf("no symbol or address %q", spec)
+}
+
+func condOp(op string) (debug.CondOp, error) {
+	switch op {
+	case "==":
+		return debug.CondEq, nil
+	case "!=":
+		return debug.CondNe, nil
+	case "<":
+		return debug.CondLt, nil
+	case ">":
+		return debug.CondGt, nil
+	}
+	return 0, fmt.Errorf("bad condition op %q", op)
+}
+
+func (s *Session) watchpointFromRequest(req *Request) (*debug.Watchpoint, error) {
+	addr, err := s.resolve(req.Sym)
+	if err != nil {
+		return nil, err
+	}
+	name := req.Name
+	if name == "" {
+		name = req.Sym
+	}
+	size := req.Size
+	if size == 0 {
+		size = 8
+	}
+	w := &debug.Watchpoint{Name: name, Addr: addr, Size: size}
+	switch req.Kind {
+	case "", "scalar":
+		w.Kind = debug.WatchScalar
+	case "indirect":
+		w.Kind = debug.WatchIndirect
+	case "range":
+		w.Kind = debug.WatchRange
+		w.Length = req.Length
+	default:
+		return nil, fmt.Errorf("unknown watch kind %q", req.Kind)
+	}
+	if req.Cond != nil {
+		op, err := condOp(req.Cond.Op)
+		if err != nil {
+			return nil, err
+		}
+		w.Cond = &debug.Condition{Op: op, Value: req.Cond.Value}
+	}
+	return w, nil
+}
+
+func (s *Session) breakpointFromRequest(req *Request) (*debug.Breakpoint, error) {
+	pc, err := s.resolve(req.Sym)
+	if err != nil {
+		return nil, err
+	}
+	b := &debug.Breakpoint{PC: pc}
+	if req.Cond != nil {
+		op, err := condOp(req.Cond.Op)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := s.resolve(req.Cond.Sym)
+		if err != nil {
+			return nil, err
+		}
+		b.Cond = &debug.BreakCond{Addr: addr, Op: op, Value: req.Cond.Value}
+	}
+	return b, nil
+}

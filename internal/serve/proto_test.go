@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net"
+	"strings"
+	"testing"
+)
+
+// protoClient drives the wire protocol over an in-memory connection the
+// way cmd/disesrv's clients would over TCP or stdio.
+type protoClient struct {
+	t   *testing.T
+	rw  io.ReadWriter
+	sc  *bufio.Scanner
+	enc *json.Encoder
+	seq uint64
+}
+
+func newProtoClient(t *testing.T, srv *Server) *protoClient {
+	t.Helper()
+	client, server := net.Pipe()
+	go func() {
+		defer server.Close()
+		_ = srv.ServeConn(server)
+	}()
+	t.Cleanup(func() { client.Close() })
+	return &protoClient{t: t, rw: client, sc: bufio.NewScanner(client), enc: json.NewEncoder(client)}
+}
+
+// call sends req and returns the matching response.
+func (c *protoClient) call(req Request) Response {
+	c.t.Helper()
+	c.seq++
+	req.Seq = c.seq
+	if err := c.enc.Encode(&req); err != nil {
+		c.t.Fatal(err)
+	}
+	if !c.sc.Scan() {
+		c.t.Fatalf("connection closed: %v", c.sc.Err())
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		c.t.Fatalf("bad response %q: %v", c.sc.Text(), err)
+	}
+	if resp.Seq != c.seq {
+		c.t.Fatalf("response seq %d, want %d", resp.Seq, c.seq)
+	}
+	return resp
+}
+
+// ok is call requiring success.
+func (c *protoClient) ok(req Request) Response {
+	c.t.Helper()
+	resp := c.call(req)
+	if !resp.OK {
+		c.t.Fatalf("op %q failed: %s", req.Op, resp.Err)
+	}
+	return resp
+}
+
+func TestProtocolSession(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 2, Quantum: 1000})
+	c := newProtoClient(t, srv)
+
+	if resp := c.ok(Request{Op: "ping"}); !resp.OK {
+		t.Fatal("ping failed")
+	}
+	created := c.ok(Request{Op: "create", Program: countdownProg, Backend: "dise"})
+	if created.Session == 0 || created.State != "idle" {
+		t.Fatalf("create = %+v", created)
+	}
+	id := created.Session
+
+	c.ok(Request{Op: "watch", Session: id, Sym: "v", Cond: &CondSpec{Op: "==", Value: 5}})
+	c.ok(Request{Op: "break", Session: id, Sym: "loop"})
+
+	// First stop: the breakpoint at loop's first iteration.
+	if resp := c.ok(Request{Op: "continue", Session: id}); resp.State != "running" {
+		t.Fatalf("continue = %+v", resp)
+	}
+	wait := c.ok(Request{Op: "wait", Session: id})
+	if wait.State != "idle" || len(wait.Events) != 1 || wait.Events[0].Kind != EventBreak {
+		t.Fatalf("first wait = %+v", wait)
+	}
+
+	// Run until the conditional watchpoint fires at v == 5 (the
+	// breakpoint fires each iteration first; drain until the watch).
+	sawWatch := false
+	for i := 0; i < 30 && !sawWatch; i++ {
+		c.ok(Request{Op: "continue", Session: id})
+		wait = c.ok(Request{Op: "wait", Session: id})
+		for _, ev := range wait.Events {
+			if ev.Kind == EventWatch {
+				if ev.Value != 5 {
+					t.Fatalf("watch fired with value %d, want 5", ev.Value)
+				}
+				sawWatch = true
+			}
+		}
+	}
+	if !sawWatch {
+		t.Fatal("conditional watchpoint never fired")
+	}
+	read := c.ok(Request{Op: "read", Session: id, Addr: "v"})
+	if read.Value == nil || *read.Value != 5 {
+		t.Fatalf("read = %+v", read)
+	}
+
+	// Attach from a second connection, run to completion there.
+	c2 := newProtoClient(t, srv)
+	att := c2.ok(Request{Op: "attach", Session: id})
+	if att.Session != id {
+		t.Fatalf("attach = %+v", att)
+	}
+	for {
+		c2.ok(Request{Op: "continue", Session: id})
+		wait = c2.ok(Request{Op: "wait", Session: id})
+		if wait.State == "halted" {
+			break
+		}
+	}
+	stats := c2.ok(Request{Op: "stats", Session: id})
+	if stats.Stats == nil || stats.Stats.AppInsts == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Stats.User == 0 {
+		t.Error("no user transitions recorded")
+	}
+
+	list := c.ok(Request{Op: "list"})
+	if len(list.Sessions) != 1 || list.Sessions[0] != id {
+		t.Fatalf("list = %+v", list)
+	}
+	c.ok(Request{Op: "close", Session: id})
+	if resp := c.call(Request{Op: "stats", Session: id}); resp.OK {
+		t.Error("stats on closed session succeeded")
+	}
+	if list = c.ok(Request{Op: "list"}); len(list.Sessions) != 0 {
+		t.Fatalf("list after close = %+v", list)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	srv := newTestServer(t, DefaultConfig())
+	c := newProtoClient(t, srv)
+
+	if resp := c.call(Request{Op: "create", Program: "not assembly"}); resp.OK {
+		t.Error("create with bad program succeeded")
+	}
+	if resp := c.call(Request{Op: "create", Program: countdownProg, Backend: "nope"}); resp.OK {
+		t.Error("create with bad backend succeeded")
+	}
+	if resp := c.call(Request{Op: "continue", Session: 999}); resp.OK {
+		t.Error("continue on missing session succeeded")
+	}
+	if resp := c.call(Request{Op: "frobnicate"}); resp.OK {
+		t.Error("unknown op succeeded")
+	}
+	created := c.ok(Request{Op: "create", Program: countdownProg})
+	if resp := c.call(Request{Op: "watch", Session: created.Session, Sym: "nosuch"}); resp.OK {
+		t.Error("watch on missing symbol succeeded")
+	}
+
+	// continue on a halted session fails and must report the session's
+	// real state, not "running".
+	halted := c.ok(Request{Op: "create", Program: spinProg})
+	c.ok(Request{Op: "continue", Session: halted.Session, Budget: 10})
+	c.ok(Request{Op: "wait", Session: halted.Session})
+	c.ok(Request{Op: "close", Session: halted.Session})
+	done := c.ok(Request{Op: "create", Program: countdownProg})
+	for {
+		c.ok(Request{Op: "continue", Session: done.Session})
+		if c.ok(Request{Op: "wait", Session: done.Session}).State == "halted" {
+			break
+		}
+	}
+	if r := c.call(Request{Op: "continue", Session: done.Session}); r.OK || r.State != "halted" {
+		t.Errorf("continue on halted session = %+v, want err with state halted", r)
+	}
+
+	// Malformed JSON gets an error response, not a dropped connection.
+	if _, err := io.WriteString(c.rw, "{bad json\n"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.sc.Scan() {
+		t.Fatal("connection dropped on malformed request")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Err, "bad request") {
+		t.Errorf("malformed request response = %+v", resp)
+	}
+}

@@ -1,0 +1,311 @@
+// Package serve is the concurrent debug service: it multiplexes many
+// independent debug sessions over a pool of reusable simulated machines
+// and a fixed set of scheduler workers.
+//
+// The pieces:
+//
+//   - Pool recycles machines. machine.Machine.Reset reaches down through
+//     memory, the cache hierarchy, the branch predictor, the DISE engine,
+//     and the pipeline core, so a recycled machine is bit-identical to a
+//     fresh one and sessions never observe each other.
+//   - Session is one create/watch/break/continue/step/stats/close
+//     lifecycle with a per-session event queue. Execution is asynchronous:
+//     Continue returns immediately and Wait observes the next pause.
+//   - Server owns the sessions and runs them: each of M worker goroutines
+//     repeatedly pops a runnable session from a FIFO run queue and
+//     executes one bounded step-quantum (Config.Quantum application
+//     instructions), requeueing the session if it has budget left. N
+//     sessions therefore share M workers round-robin, and no session can
+//     monopolize a worker for more than a quantum.
+//   - proto.go serves the session API as a line-delimited JSON protocol
+//     over any connection (cmd/disesrv binds it to TCP and stdio).
+//
+// The simulated machine is single-threaded by design; the service keeps
+// it that way by construction — a session is on the run queue at most
+// once, and only the worker that dequeued it touches its machine.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/debug"
+	"repro/internal/machine"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the number of scheduler goroutines (default GOMAXPROCS).
+	Workers int
+	// Quantum is the largest number of application instructions one
+	// scheduling slice may execute (default 25000). Smaller quanta are
+	// fairer; larger quanta amortize scheduling overhead.
+	Quantum uint64
+	// MaxSessions bounds concurrently open sessions (default 1024).
+	MaxSessions int
+	// PoolIdle is how many reset machines the pool keeps warm. 0 selects
+	// the default, MaxSessions — a steady-state service then allocates no
+	// machines, at the cost of retaining up to MaxSessions idle machines
+	// after a load spike. Negative disables idle pooling entirely (every
+	// close discards the machine).
+	PoolIdle int
+	// Machine configures pooled machines (default machine.DefaultConfig).
+	Machine machine.Config
+}
+
+// DefaultConfig returns the default service configuration.
+func DefaultConfig() Config {
+	return Config{
+		Workers:     runtime.GOMAXPROCS(0),
+		Quantum:     25_000,
+		MaxSessions: 1024,
+		Machine:     machine.DefaultConfig(),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	if c.Quantum == 0 {
+		c.Quantum = d.Quantum
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = d.MaxSessions
+	}
+	switch {
+	case c.PoolIdle == 0:
+		c.PoolIdle = c.MaxSessions
+	case c.PoolIdle < 0:
+		c.PoolIdle = 0
+	}
+	zero := machine.Config{}
+	if c.Machine == zero {
+		c.Machine = d.Machine
+	}
+	return c
+}
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	SessionsCreated uint64
+	SessionsClosed  uint64
+	QuantaRun       uint64
+	Pool            PoolStats
+}
+
+// Server multiplexes debug sessions over pooled machines and scheduler
+// workers. Create with New; stop with Close.
+type Server struct {
+	cfg  Config
+	pool *Pool
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast when a session is dropped
+	sessions map[uint64]*Session
+	nextID   uint64
+	closed   bool
+	created  uint64
+	dropped  uint64
+	quanta   uint64
+
+	runq chan *Session
+	wg   sync.WaitGroup
+}
+
+// New builds a server and starts its workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	srv := &Server{
+		cfg:      cfg,
+		pool:     NewPool(cfg.Machine, cfg.PoolIdle),
+		sessions: make(map[uint64]*Session),
+		// One slot per session suffices: a session is enqueued at most
+		// once (only its worker requeues it, only when it keeps running).
+		runq: make(chan *Session, cfg.MaxSessions),
+	}
+	srv.cond = sync.NewCond(&srv.mu)
+	srv.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go srv.worker()
+	}
+	return srv
+}
+
+// Config returns the server's effective configuration.
+func (srv *Server) Config() Config { return srv.cfg }
+
+// worker is one scheduler goroutine: pop, run a quantum, requeue.
+func (srv *Server) worker() {
+	defer srv.wg.Done()
+	for s := range srv.runq {
+		again := s.runQuantum(srv.cfg.Quantum)
+		srv.mu.Lock()
+		srv.quanta++
+		srv.mu.Unlock()
+		if again {
+			if srv.enqueue(s) != nil {
+				// Shutdown raced the requeue: park the session stopped so
+				// Close can finalize it.
+				s.mu.Lock()
+				if s.state == StateRunning {
+					s.state = StateIdle
+				}
+				if s.closeReq {
+					s.finalizeLocked()
+				}
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// enqueue puts s on the run queue. The caller has already marked the
+// session running; a session is never on the queue twice.
+func (srv *Server) enqueue(s *Session) error {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.closed {
+		return ErrNoServer
+	}
+	srv.runq <- s // cannot block: capacity = MaxSessions >= open sessions
+	return nil
+}
+
+// Create opens a session: takes a machine from the pool, loads prog, and
+// prepares a debugger with the given options. The session starts idle;
+// declare watchpoints and breakpoints, then Continue.
+func (srv *Server) Create(prog *asm.Program, opts debug.Options) (*Session, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("serve: nil program")
+	}
+	// Cheap early-outs; the authoritative checks repeat at insertion so
+	// concurrent Creates cannot slip past the session cap together (the
+	// run queue's cannot-block invariant is capacity >= open sessions).
+	srv.mu.Lock()
+	if err := srv.admitLocked(); err != nil {
+		srv.mu.Unlock()
+		return nil, err
+	}
+	srv.mu.Unlock()
+
+	m := srv.pool.Get()
+	m.Load(prog)
+	s := newSession(srv, m, prog, opts)
+
+	srv.mu.Lock()
+	if err := srv.admitLocked(); err != nil {
+		srv.mu.Unlock()
+		srv.pool.Put(m)
+		return nil, err
+	}
+	srv.nextID++
+	s.ID = srv.nextID
+	srv.sessions[s.ID] = s
+	srv.created++
+	srv.mu.Unlock()
+	return s, nil
+}
+
+// admitLocked reports whether the server can take another session.
+func (srv *Server) admitLocked() error {
+	if srv.closed {
+		return ErrNoServer
+	}
+	if len(srv.sessions) >= srv.cfg.MaxSessions {
+		return fmt.Errorf("serve: session limit reached (%d)", srv.cfg.MaxSessions)
+	}
+	return nil
+}
+
+// CreateSource is Create over assembly source text.
+func (srv *Server) CreateSource(src string, opts debug.Options) (*Session, error) {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return srv.Create(prog, opts)
+}
+
+// Attach returns the open session with the given id, for clients
+// reconnecting to an existing session.
+func (srv *Server) Attach(id uint64) (*Session, bool) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	s, ok := srv.sessions[id]
+	return s, ok
+}
+
+// Sessions returns the open session IDs.
+func (srv *Server) Sessions() []uint64 {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	ids := make([]uint64, 0, len(srv.sessions))
+	for id := range srv.sessions {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Stats returns a snapshot of server activity.
+func (srv *Server) Stats() ServerStats {
+	srv.mu.Lock()
+	st := ServerStats{
+		SessionsCreated: srv.created,
+		SessionsClosed:  srv.dropped,
+		QuantaRun:       srv.quanta,
+	}
+	srv.mu.Unlock()
+	st.Pool = srv.pool.Stats()
+	return st
+}
+
+// dropSession removes a finalized session from the table.
+func (srv *Server) dropSession(id uint64) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if _, ok := srv.sessions[id]; ok {
+		delete(srv.sessions, id)
+		srv.dropped++
+		srv.cond.Broadcast()
+	}
+}
+
+// Close stops the server: open sessions are closed (running ones at
+// their next quantum boundary), their machines return to the pool, and
+// the workers drain and exit. Close blocks until shutdown completes.
+func (srv *Server) Close() {
+	srv.mu.Lock()
+	if srv.closed {
+		// Second closer: wait for the first to finish draining.
+		for len(srv.sessions) > 0 {
+			srv.cond.Wait()
+		}
+		srv.mu.Unlock()
+		srv.wg.Wait()
+		return
+	}
+	srv.closed = true
+	open := make([]*Session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		open = append(open, s)
+	}
+	srv.mu.Unlock()
+
+	for _, s := range open {
+		s.Close()
+	}
+	// Running sessions finalize on their workers; wait for the table to
+	// empty, then stop the workers.
+	srv.mu.Lock()
+	for len(srv.sessions) > 0 {
+		srv.cond.Wait()
+	}
+	srv.mu.Unlock()
+	close(srv.runq)
+	srv.wg.Wait()
+}

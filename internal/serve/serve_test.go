@@ -1,0 +1,521 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bpred"
+	"repro/internal/debug"
+	idise "repro/internal/dise"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// countdownProg stores 10..1 to v and halts; every store is a user
+// transition for a watchpoint on v.
+const countdownProg = `
+.data
+.align 8
+v: .quad 0
+.text
+.entry main
+main:
+    la  r1, v
+    li  r2, 10
+loop:
+.stmt
+    stq r2, 0(r1)
+    subq r2, #1, r2
+    bne r2, loop
+    halt
+`
+
+// spinProg never halts: an always-taken branch around a counter.
+const spinProg = `
+.text
+.entry main
+main:
+    li r1, 1
+loop:
+    addq r2, #1, r2
+    addq r2, #1, r2
+    bne r1, loop
+    halt
+`
+
+// machineFingerprint is every observable surface the equivalence test
+// compares: all statistics plus the architectural stopping point.
+type machineFingerprint struct {
+	Pipe  pipeline.Stats
+	Trans debug.TransitionStats
+	Mem   machine.MemStats
+	BP    bpred.Stats
+	Dise  idise.Stats
+	PC    uint64
+	Regs  [32]uint64
+	Hot   uint64
+}
+
+// runDebugWorkload loads the gcc kernel on m, attaches a DISE-backend
+// debugger with scalar and range watchpoints, runs a fixed budget, and
+// fingerprints everything a client could observe.
+func runDebugWorkload(t *testing.T, m *machine.Machine) machineFingerprint {
+	t.Helper()
+	spec, ok := workload.ByName("gcc")
+	if !ok {
+		t.Fatal("no gcc workload")
+	}
+	w := workload.MustBuild(spec, 1<<20)
+	m.Load(w.Program)
+	d := debug.New(m, debug.DefaultOptions(debug.BackendDise))
+	if err := d.Watch(&debug.Watchpoint{Name: "hot", Kind: debug.WatchScalar, Addr: w.WP.Hot, Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Watch(&debug.Watchpoint{Name: "warm", Kind: debug.WatchScalar, Addr: w.WP.Warm1, Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run(40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [32]uint64
+	copy(regs[:], m.Core.Regs[:])
+	return machineFingerprint{
+		Pipe:  st,
+		Trans: d.Stats(),
+		Mem:   m.MemStats(),
+		BP:    m.Core.BP.Stats(),
+		Dise:  m.Engine.Stats(),
+		PC:    m.Core.PC(),
+		Regs:  regs,
+		Hot:   m.ReadQuad(w.WP.Hot),
+	}
+}
+
+// dirty runs a different program with a different back end so the
+// recycled machine's memory, caches, predictor, engine, protections, and
+// hooks are all visibly non-fresh before the Reset under test.
+func dirty(t *testing.T, m *machine.Machine) {
+	t.Helper()
+	spec, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("no mcf workload")
+	}
+	w := workload.MustBuild(spec, 1<<20)
+	m.Load(w.Program)
+	d := debug.New(m, debug.DefaultOptions(debug.BackendVirtualMemory))
+	if err := d.Watch(&debug.Watchpoint{Name: "hot", Kind: debug.WatchScalar, Addr: w.WP.Hot, Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(15_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Core.Prot.ProtectedPages() == 0 {
+		t.Fatal("dirtying run left no page protections — test lost its teeth")
+	}
+}
+
+// TestPoolRecycledMachineEquivalentToFresh is the pool's contract: after
+// any use whatsoever, Put+Get hands back a machine whose observable
+// behavior — pipeline stats, transition stats, memory-system stats,
+// predictor and engine stats, final PC, registers, and memory — is
+// bit-identical to a freshly constructed machine's on the same workload.
+func TestPoolRecycledMachineEquivalentToFresh(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	want := runDebugWorkload(t, machine.New(cfg))
+
+	pool := NewPool(cfg, 1)
+	m := pool.Get()
+	dirty(t, m)
+	pool.Put(m)
+	recycled := pool.Get()
+	if recycled != m {
+		t.Fatal("pool built a new machine instead of recycling")
+	}
+	got := runDebugWorkload(t, recycled)
+	if got != want {
+		t.Errorf("recycled machine diverged from fresh:\n got %+v\nwant %+v", got, want)
+	}
+
+	// And a second recycle, to catch state that only leaks on the second
+	// generation (e.g. append cursors advanced during the measured run).
+	pool.Put(recycled)
+	again := pool.Get()
+	if got := runDebugWorkload(t, again); got != want {
+		t.Errorf("second-generation machine diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestMachineResetDropsDebuggerState(t *testing.T) {
+	m := machine.NewDefault()
+	dirty(t, m)
+	m.Reset()
+	if m.Core.Prot.ProtectedPages() != 0 {
+		t.Error("Reset kept page protections")
+	}
+	if m.Core.Hooks.OnStore != nil || m.Core.Hooks.OnInst != nil || m.Core.Hooks.OnTrap != nil {
+		t.Error("Reset kept debugger hooks")
+	}
+	if n := len(m.Engine.Productions()); n != 0 {
+		t.Errorf("Reset kept %d productions", n)
+	}
+	if m.Program != nil {
+		t.Error("Reset kept the program")
+	}
+	if st := m.Core.Stats(); st != (pipeline.Stats{}) {
+		t.Errorf("Reset kept stats: %+v", st)
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv := New(cfg)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 2, Quantum: 500})
+	s, err := srv.CreateSource(countdownProg, debug.DefaultOptions(debug.BackendDise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Program().Symbol("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: v, Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each continue pauses at the next user transition (one store).
+	for i := 10; i >= 1; i-- {
+		if err := s.Continue(0); err != nil {
+			t.Fatalf("continue at v=%d: %v", i, err)
+		}
+		if st := s.Wait(); st != StateIdle {
+			t.Fatalf("wait at v=%d: state %v", i, st)
+		}
+		evs := s.Events()
+		if len(evs) != 1 || evs[0].Kind != EventWatch || evs[0].Value != uint64(i) {
+			t.Fatalf("at v=%d events = %+v", i, evs)
+		}
+		got, err := s.ReadQuad(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != uint64(i) {
+			t.Fatalf("memory v = %d, want %d", got, i)
+		}
+	}
+	// The last continue runs off the loop into halt.
+	if err := s.Continue(0); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Wait(); st != StateHalted {
+		t.Fatalf("final state = %v, want halted", st)
+	}
+	if evs := s.Events(); len(evs) != 1 || evs[0].Kind != EventHalt {
+		t.Fatalf("final events = %+v", evs)
+	}
+	if st := s.State(); st != StateHalted {
+		t.Fatalf("state = %v, want halted", st)
+	}
+	st, tr := s.Stats()
+	if st.AppInsts == 0 || !st.Halted {
+		t.Errorf("stats = %+v", st)
+	}
+	if tr.User != 10 {
+		t.Errorf("user transitions = %d, want 10", tr.User)
+	}
+	if err := s.Continue(0); err != ErrHalted {
+		t.Errorf("continue after halt = %v, want ErrHalted", err)
+	}
+	s.Close()
+	if st := s.State(); st != StateClosed {
+		t.Errorf("state after close = %v", st)
+	}
+	if err := s.Continue(0); err != ErrClosed {
+		t.Errorf("continue after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestSessionStep(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, Quantum: 1000})
+	s, err := srv.CreateSource(spinProg, debug.DefaultOptions(debug.BackendDise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Wait(); st != StateIdle {
+		t.Fatalf("state = %v", st)
+	}
+	st, _ := s.Stats()
+	if st.AppInsts != 100 {
+		t.Errorf("stepped %d insts, want 100", st.AppInsts)
+	}
+	evs := s.Events()
+	if len(evs) != 1 || evs[0].Kind != EventStop {
+		t.Errorf("events = %+v", evs)
+	}
+	// Budgets span quanta: 2500 instructions at quantum 1000 needs three
+	// scheduling slices.
+	if err := s.Continue(2400); err != nil {
+		t.Fatal(err)
+	}
+	s.Wait()
+	st, _ = s.Stats()
+	if st.AppInsts != 2500 {
+		t.Errorf("after continue: %d insts, want 2500", st.AppInsts)
+	}
+}
+
+// TestSchedulerFairness runs more never-halting sessions than workers and
+// checks round-robin progress: by the time the first session has executed
+// many quanta, every session must have executed several.
+func TestSchedulerFairness(t *testing.T) {
+	const quantum = 1000
+	srv := newTestServer(t, Config{Workers: 1, Quantum: quantum})
+	const n = 4
+	sessions := make([]*Session, n)
+	for i := range sessions {
+		s, err := srv.CreateSource(spinProg, debug.DefaultOptions(debug.BackendDise))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+		if err := s.Continue(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, _ := sessions[0].Stats()
+		if st.AppInsts >= 20*quantum {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session 0 made no progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, s := range sessions[1:] {
+		st, _ := s.Stats()
+		// With FIFO round-robin the spread between sessions is bounded by
+		// one quantum; 5x headroom keeps the assertion unflaky while still
+		// catching starvation.
+		if st.AppInsts < 4*quantum {
+			t.Errorf("session %d starved: %d insts while session 0 ran %d",
+				i+1, st.AppInsts, 20*quantum)
+		}
+	}
+	for _, s := range sessions {
+		s.Close()
+		if st := s.Wait(); st != StateClosed {
+			t.Errorf("close of running session ended in %v", st)
+		}
+	}
+	if got := len(srv.Sessions()); got != 0 {
+		t.Errorf("%d sessions left after close", got)
+	}
+}
+
+// TestServeSoak is the CI race soak: 64 concurrent sessions over a small
+// worker pool with small quanta, mixing watchpoint sessions that run to
+// halt with budget-bounded spinners that are closed mid-flight.
+func TestServeSoak(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 4, Quantum: 500, MaxSessions: 128})
+	const n = 64
+	sessions := make([]*Session, n)
+	for i := range sessions {
+		var (
+			s   *Session
+			err error
+		)
+		if i%2 == 0 {
+			s, err = srv.CreateSource(countdownProg, debug.DefaultOptions(debug.BackendDise))
+			if err == nil {
+				v := s.Program().MustSymbol("v")
+				err = s.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: v, Size: 8})
+			}
+		} else {
+			s, err = srv.CreateSource(spinProg, debug.DefaultOptions(debug.BackendDise))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+		budget := uint64(0)
+		if i%2 == 1 {
+			budget = 10_000
+		}
+		if err := s.Continue(budget); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range sessions {
+		if i%2 == 0 {
+			// Watchpoint sessions pause at each of 10 user transitions.
+			for s.Wait() == StateIdle {
+				if err := s.Continue(0); err != nil {
+					t.Fatalf("session %d: %v", i, err)
+				}
+			}
+			if st := s.Wait(); st != StateHalted {
+				t.Errorf("session %d ended %v", i, st)
+			}
+			_, tr := s.Stats()
+			if tr.User != 10 {
+				t.Errorf("session %d user transitions = %d, want 10", i, tr.User)
+			}
+		} else {
+			if st := s.Wait(); st != StateIdle {
+				t.Errorf("spinner %d ended %v", i, st)
+			}
+			st, _ := s.Stats()
+			if st.AppInsts != 10_000 {
+				t.Errorf("spinner %d ran %d insts, want 10000", i, st.AppInsts)
+			}
+		}
+		s.Close()
+	}
+	stats := srv.Stats()
+	if stats.SessionsCreated != n || stats.SessionsClosed != n {
+		t.Errorf("server stats = %+v", stats)
+	}
+	if stats.Pool.Recycled == 0 {
+		t.Error("soak parked no machines for reuse")
+	}
+	// A second wave must run on recycled machines, not fresh ones.
+	s, err := srv.CreateSource(countdownProg, debug.DefaultOptions(debug.BackendDise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Continue(0); err != nil {
+		t.Fatal(err)
+	}
+	s.Wait()
+	s.Close()
+	if st := srv.Stats().Pool; st.Reused == 0 {
+		t.Errorf("second wave did not reuse a machine: %+v", st)
+	}
+}
+
+func TestServerCloseReclaimsRunningSessions(t *testing.T) {
+	srv := New(Config{Workers: 2, Quantum: 500})
+	var open []*Session
+	for i := 0; i < 6; i++ {
+		s, err := srv.CreateSource(spinProg, debug.DefaultOptions(debug.BackendDise))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Continue(0); err != nil {
+			t.Fatal(err)
+		}
+		open = append(open, s)
+	}
+	srv.Close()
+	for i, s := range open {
+		if st := s.State(); st != StateClosed {
+			t.Errorf("session %d state = %v after server close", i, st)
+		}
+	}
+	if _, err := srv.CreateSource(spinProg, debug.DefaultOptions(debug.BackendDise)); err != ErrNoServer {
+		t.Errorf("create after close = %v, want ErrNoServer", err)
+	}
+}
+
+// TestWaitTimeout: on a never-halting session the timed wait must come
+// back around its deadline reporting the session still running, and must
+// observe a stop that happens while waiting.
+func TestWaitTimeout(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, Quantum: 1000})
+	s, err := srv.CreateSource(spinProg, debug.DefaultOptions(debug.BackendDise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Continue(0); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	st, ok := s.WaitTimeout(50 * time.Millisecond)
+	if ok || st != StateRunning {
+		t.Errorf("timed wait on spinner = (%v,%v), want (running,false)", st, ok)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("timed wait blocked %v past a 50ms deadline", waited)
+	}
+	s.Close()
+	if st, ok := s.WaitTimeout(30 * time.Second); !ok || st != StateClosed {
+		t.Errorf("timed wait across close = (%v,%v), want (closed,true)", st, ok)
+	}
+}
+
+// TestSessionLimitConcurrent hammers Create from many goroutines: the
+// cap must hold even when admissions race (the run queue's cannot-block
+// invariant depends on open sessions never exceeding MaxSessions).
+func TestSessionLimitConcurrent(t *testing.T) {
+	const limit = 8
+	srv := newTestServer(t, Config{Workers: 2, MaxSessions: limit})
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		admitted int
+	)
+	for i := 0; i < 4*limit; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := srv.CreateSource(spinProg, debug.DefaultOptions(debug.BackendDise)); err == nil {
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != limit {
+		t.Errorf("admitted %d sessions, want exactly %d", admitted, limit)
+	}
+	if got := len(srv.Sessions()); got != limit {
+		t.Errorf("open sessions = %d, want %d", got, limit)
+	}
+}
+
+// TestPoolIdleDisabled: PoolIdle < 0 must mean "keep nothing", not the
+// MaxSessions default.
+func TestPoolIdleDisabled(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, PoolIdle: -1})
+	s, err := srv.CreateSource(countdownProg, debug.DefaultOptions(debug.BackendDise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if st := srv.Stats().Pool; st.Dropped != 1 || st.Recycled != 0 {
+		t.Errorf("pool stats with idle pooling disabled = %+v", st)
+	}
+}
+
+func TestSessionLimit(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, MaxSessions: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := srv.CreateSource(spinProg, debug.DefaultOptions(debug.BackendDise)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := srv.CreateSource(spinProg, debug.DefaultOptions(debug.BackendDise))
+	if err == nil || !strings.Contains(err.Error(), "session limit") {
+		t.Errorf("create past limit = %v", err)
+	}
+}

@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/debug"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+)
+
+// Session errors.
+var (
+	ErrRunning  = errors.New("serve: session is running")
+	ErrNotIdle  = errors.New("serve: session is not resumable")
+	ErrHalted   = errors.New("serve: program has halted")
+	ErrClosed   = errors.New("serve: session is closed")
+	ErrNoServer = errors.New("serve: server is closed")
+)
+
+// State is a session's lifecycle position.
+type State int
+
+// Session states. A session is Idle between Create and its first
+// Continue and again whenever execution pauses (user transition or budget
+// exhaustion); machine-touching operations are legal only while Idle.
+const (
+	StateIdle State = iota
+	StateRunning
+	StateHalted
+	StateClosed
+)
+
+var stateNames = [...]string{"idle", "running", "halted", "closed"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// EventKind classifies session events.
+type EventKind string
+
+// Event kinds.
+const (
+	EventWatch EventKind = "watch" // a watchpoint fired (user transition)
+	EventBreak EventKind = "break" // a breakpoint fired (user transition)
+	EventTrap  EventKind = "trap"  // another user transition (e.g. raw trap)
+	EventHalt  EventKind = "halt"  // the program executed halt
+	EventStop  EventKind = "stop"  // the instruction budget was exhausted
+	EventError EventKind = "error" // the run failed (e.g. uop safety cap)
+)
+
+// Event is one entry in a session's event queue, delivered in execution
+// order and drained by Events (or the protocol's wait/events ops).
+type Event struct {
+	Kind  EventKind `json:"kind"`
+	PC    uint64    `json:"pc,omitempty"`
+	Watch string    `json:"watch,omitempty"` // watchpoint name (EventWatch)
+	Value uint64    `json:"value,omitempty"` // watched value (EventWatch)
+	Err   string    `json:"err,omitempty"`   // failure detail (EventError)
+}
+
+// Session is one debug session: a pooled machine, a loaded program, a
+// debugger, an event queue, and scheduling state. All methods are safe
+// for concurrent use; execution itself happens on the server's worker
+// goroutines in bounded quanta, never on the caller.
+type Session struct {
+	// ID is the server-unique session identifier.
+	ID uint64
+
+	srv *Server
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast whenever state leaves StateRunning
+
+	m         *machine.Machine
+	d         *debug.Debugger
+	prog      *asm.Program
+	state     State
+	installed bool
+	target    uint64 // absolute AppInsts bound for this run; 0 = unbounded
+	hitUser   bool   // a user transition paused the current quantum
+	closeReq  bool   // finalize at the next quantum boundary
+
+	events []Event
+	stats  pipeline.Stats
+	trans  debug.TransitionStats
+	err    error
+}
+
+// newSession wires a session around a loaded machine; the caller assigns
+// ID when it publishes the session into the server's table.
+func newSession(srv *Server, m *machine.Machine, prog *asm.Program, opts debug.Options) *Session {
+	s := &Session{srv: srv, m: m, prog: prog}
+	s.cond = sync.NewCond(&s.mu)
+	s.d = debug.New(m, opts)
+	s.d.OnUser = func(ev debug.UserEvent) {
+		// Runs on the worker goroutine, inside m.Run, with s.mu free.
+		s.mu.Lock()
+		s.events = append(s.events, fromUserEvent(ev))
+		s.hitUser = true
+		s.mu.Unlock()
+		m.Core.RequestStop()
+	}
+	return s
+}
+
+func fromUserEvent(ev debug.UserEvent) Event {
+	switch {
+	case ev.Watchpoint != nil:
+		return Event{Kind: EventWatch, PC: ev.PC, Watch: ev.Watchpoint.Name, Value: ev.Value}
+	case ev.Breakpoint != nil:
+		return Event{Kind: EventBreak, PC: ev.PC}
+	default:
+		return Event{Kind: EventTrap, PC: ev.PC}
+	}
+}
+
+// Program returns the loaded program (for symbol resolution).
+func (s *Session) Program() *asm.Program { return s.prog }
+
+// State returns the current lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Err returns the run error, if the session stopped on one.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Watch registers a watchpoint. Like an interactive debugger, watchpoints
+// are declared while the session is idle and installed at the first
+// Continue; the underlying back end rejects changes after installation.
+func (s *Session) Watch(w *debug.Watchpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.idleLocked(); err != nil {
+		return err
+	}
+	return s.d.Watch(w)
+}
+
+// Break registers a breakpoint (see Watch for lifecycle restrictions).
+func (s *Session) Break(b *debug.Breakpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.idleLocked(); err != nil {
+		return err
+	}
+	return s.d.Break(b)
+}
+
+// idleLocked verifies the machine may be touched by the caller.
+func (s *Session) idleLocked() error {
+	switch s.state {
+	case StateRunning:
+		return ErrRunning
+	case StateHalted:
+		return ErrHalted
+	case StateClosed:
+		return ErrClosed
+	}
+	return nil
+}
+
+// Continue resumes (or starts) execution for at most budget application
+// instructions (0 = until halt or the next user transition). It returns
+// immediately; the session runs on the server's workers. Wait blocks
+// until the run pauses.
+func (s *Session) Continue(budget uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.idleLocked(); err != nil {
+		return err
+	}
+	if !s.installed {
+		if err := s.d.Install(); err != nil {
+			return err
+		}
+		s.installed = true
+	}
+	if budget > 0 {
+		s.target = s.m.Core.Stats().AppInsts + budget
+	} else {
+		s.target = 0
+	}
+	s.state = StateRunning
+	if err := s.srv.enqueue(s); err != nil {
+		s.state = StateIdle
+		return err
+	}
+	return nil
+}
+
+// Step runs exactly n application instructions (n == 0 steps one), still
+// honoring watchpoints and breakpoints within the window.
+func (s *Session) Step(n uint64) error {
+	if n == 0 {
+		n = 1
+	}
+	return s.Continue(n)
+}
+
+// Wait blocks until the session is not running and returns its state.
+func (s *Session) Wait() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.state == StateRunning {
+		s.cond.Wait()
+	}
+	return s.state
+}
+
+// WaitTimeout is Wait bounded by d; ok reports whether the session
+// stopped in time.
+func (s *Session) WaitTimeout(d time.Duration) (State, bool) {
+	deadline := time.Now().Add(d)
+	// sync.Cond has no timed wait; a one-shot broadcast at the deadline,
+	// taken under s.mu, cannot be lost: the waiter holds the mutex from
+	// its deadline check until cond.Wait parks it, so the timer's
+	// Lock/Broadcast either wakes the parked waiter or serializes before
+	// a check that then sees the deadline expired.
+	timer := time.AfterFunc(d, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.state == StateRunning && time.Now().Before(deadline) {
+		s.cond.Wait()
+	}
+	return s.state, s.state != StateRunning
+}
+
+// Events drains and returns the queued events.
+func (s *Session) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.events
+	s.events = nil
+	return out
+}
+
+// Stats returns the latest execution statistics snapshot. While the
+// session runs, the snapshot trails live state by at most one quantum.
+func (s *Session) Stats() (pipeline.Stats, debug.TransitionStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats, s.trans
+}
+
+// ReadQuad reads 8 bytes of simulated memory; the session must be idle.
+func (s *Session) ReadQuad(addr uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateRunning || s.state == StateClosed {
+		if s.state == StateClosed {
+			return 0, ErrClosed
+		}
+		return 0, ErrRunning
+	}
+	return s.m.ReadQuad(addr), nil
+}
+
+// Close releases the session. A running session finishes its current
+// quantum first; its machine then returns to the pool. Close never
+// blocks; Wait observes the transition to StateClosed.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case StateClosed:
+	case StateRunning:
+		s.closeReq = true // the worker finalizes at the quantum boundary
+	default:
+		s.finalizeLocked()
+	}
+}
+
+// finalizeLocked returns the machine to the pool and marks the session
+// closed. Caller holds s.mu.
+func (s *Session) finalizeLocked() {
+	if s.state == StateClosed {
+		return
+	}
+	s.state = StateClosed
+	m := s.m
+	s.m, s.d = nil, nil
+	s.srv.dropSession(s.ID)
+	s.srv.pool.Put(m)
+	s.cond.Broadcast()
+}
+
+// runQuantum executes one scheduling slice on the calling worker and
+// reports whether the session should be requeued. It is only ever called
+// by the worker that dequeued the session, so the machine is touched by
+// exactly one goroutine at a time.
+func (s *Session) runQuantum(quantum uint64) bool {
+	s.mu.Lock()
+	if s.state != StateRunning {
+		// A close raced in between enqueue and execution.
+		if s.closeReq {
+			s.finalizeLocked()
+		}
+		s.mu.Unlock()
+		return false
+	}
+	m := s.m
+	target := m.Core.Stats().AppInsts + quantum
+	if s.target > 0 && target > s.target {
+		target = s.target
+	}
+	s.hitUser = false
+	s.mu.Unlock()
+
+	_, err := m.Run(target)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = m.Core.Stats()
+	s.trans = s.d.Stats()
+	switch {
+	case err != nil:
+		s.err = err
+		s.events = append(s.events, Event{Kind: EventError, PC: m.Core.PC(), Err: err.Error()})
+		s.state = StateHalted
+	case m.Core.Halted():
+		s.state = StateHalted
+		s.events = append(s.events, Event{Kind: EventHalt, PC: s.stats.HaltPC})
+	case s.hitUser:
+		s.state = StateIdle // paused at a user transition; events queued
+	case s.target > 0 && s.stats.AppInsts >= s.target:
+		s.state = StateIdle
+		s.events = append(s.events, Event{Kind: EventStop, PC: m.Core.PC()})
+	default:
+		if s.closeReq {
+			s.finalizeLocked()
+			return false
+		}
+		return true // quantum expired mid-run: requeue behind the others
+	}
+	if s.closeReq {
+		s.finalizeLocked()
+		return false
+	}
+	s.cond.Broadcast()
+	return false
+}
