@@ -12,6 +12,8 @@
 // Commands:
 //
 //	backend dise|vm|hw|step|rewrite   select the implementation (before run)
+//	machine PRESET                    select the simulated machine (before run):
+//	                                  default|small-cache|big-l2|no-bpred|narrow-core
 //	watch SYM [SIZE]                  watch a scalar (default 8 bytes)
 //	watch *SYM [SIZE]                 watch through a pointer
 //	watch SYM..LEN                    watch a LEN-byte region
@@ -41,6 +43,7 @@ type cli struct {
 	out     io.Writer
 	prog    *asm.Program
 	backend dise.Backend
+	machine string // machine preset name
 	session *dise.Session
 	watches []*dise.Watchpoint
 	breaks  []*dise.Breakpoint
@@ -71,7 +74,7 @@ func repl(src, name string, in io.Reader, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	c := &cli{out: out, prog: prog, backend: dise.BackendDise}
+	c := &cli{out: out, prog: prog, backend: dise.BackendDise, machine: "default"}
 	fmt.Fprintf(out, "loaded %s: %d instructions, entry %#x (backend: dise)\n",
 		name, len(prog.Text), prog.Entry)
 	sc := bufio.NewScanner(in)
@@ -109,6 +112,20 @@ func (c *cli) command(line string) error {
 		}
 		c.backend = b
 		fmt.Fprintln(c.out, "backend:", b)
+		return nil
+	case "machine":
+		if len(fields) != 2 {
+			return fmt.Errorf("machine %s", strings.Join(dise.MachinePresets(), "|"))
+		}
+		if c.started {
+			return fmt.Errorf("cannot change machine after run")
+		}
+		if _, ok := dise.MachinePresetConfig(fields[1]); !ok {
+			return fmt.Errorf("unknown machine preset %q (have %s)",
+				fields[1], strings.Join(dise.MachinePresets(), ", "))
+		}
+		c.machine = fields[1]
+		fmt.Fprintln(c.out, "machine:", c.machine)
 		return nil
 	case "watch":
 		return c.watch(fields[1:])
@@ -271,7 +288,11 @@ func (c *cli) breakCmd(args []string) error {
 }
 
 func (c *cli) run() error {
-	s, err := dise.NewSession(c.prog, c.backend)
+	mcfg, ok := dise.MachinePresetConfig(c.machine)
+	if !ok {
+		return fmt.Errorf("unknown machine preset %q", c.machine)
+	}
+	s, err := dise.NewSessionWith(c.prog, dise.DefaultOptions(c.backend), mcfg)
 	if err != nil {
 		return err
 	}
@@ -326,12 +347,13 @@ func (c *cli) report() {
 
 func (c *cli) info() error {
 	if c.session == nil {
-		fmt.Fprintf(c.out, "backend %v, %d watchpoints, %d breakpoints (not started)\n",
-			c.backend, len(c.watches), len(c.breaks))
+		fmt.Fprintf(c.out, "backend %v, machine %s, %d watchpoints, %d breakpoints (not started)\n",
+			c.backend, c.machine, len(c.watches), len(c.breaks))
 		return nil
 	}
 	st := c.session.M.Core.Stats()
 	tr := c.session.Transitions()
+	fmt.Fprintf(c.out, "backend %v, machine %s\n", c.backend, c.machine)
 	fmt.Fprintf(c.out, "cycles %d, insts %d, IPC %.2f\n", st.Cycles, st.AppInsts, st.IPC())
 	fmt.Fprintf(c.out, "transitions: user %d, spurious addr %d, value %d, pred %d\n",
 		tr.User, tr.SpuriousAddr, tr.SpuriousValue, tr.SpuriousPred)

@@ -106,6 +106,35 @@ func TestBackendSelection(t *testing.T) {
 	}
 }
 
+// TestMachinePresetSelection runs the session on a named machine preset
+// and checks the preset is reported, locked after run, and validated.
+func TestMachinePresetSelection(t *testing.T) {
+	cmds := []string{"machine small-cache", "watch v", "info", "run"}
+	for i := 0; i < 10; i++ {
+		cmds = append(cmds, "continue")
+	}
+	cmds = append(cmds, "info", "machine big-l2", "quit") // change too late: locked after run
+	out := drive(t, cmds...)
+	if !strings.Contains(out, "machine: small-cache") {
+		t.Errorf("machine not switched:\n%s", out)
+	}
+	if !strings.Contains(out, "machine small-cache, 1 watchpoints") {
+		t.Errorf("info does not report the machine before run:\n%s", out)
+	}
+	if !strings.Contains(out, "backend dise, machine small-cache") {
+		t.Errorf("info does not report the machine after run:\n%s", out)
+	}
+	if !strings.Contains(out, "program exited: ") {
+		t.Errorf("no exit report on preset machine:\n%s", out)
+	}
+	if !strings.Contains(out, "error: cannot change machine after run") {
+		t.Errorf("machine change after run not rejected:\n%s", out)
+	}
+	if !strings.Contains(drive(t, "machine warp9", "quit"), "unknown machine preset") {
+		t.Error("bad preset not rejected")
+	}
+}
+
 // TestCommandErrors exercises the error paths without crashing the loop.
 func TestCommandErrors(t *testing.T) {
 	out := drive(t,

@@ -6,6 +6,14 @@
 // Usage:
 //
 //	disesrv [-listen addr] [-stdio] [-workers N] [-quantum N] [-max-sessions N]
+//	        [-machine preset] [-queue-depth N] [-shed reject|pause] [-push-buffer N]
+//
+// -machine selects the default machine configuration preset for sessions
+// that do not bring their own (clients pick per-session presets with the
+// create op's "machine" field). -queue-depth bounds how many sessions may
+// be runnable at once and -shed picks what happens beyond it: reject new
+// admissions, or pause the lowest-priority queued session. -push-buffer
+// sizes the per-subscription event buffers for the subscribe op.
 //
 // With -listen, every accepted connection is an independent protocol
 // stream; sessions outlive their connection and can be reattached from
@@ -34,8 +42,10 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"sync"
 
+	"repro/internal/machine"
 	"repro/internal/serve"
 )
 
@@ -46,6 +56,11 @@ func main() {
 		workers     = flag.Int("workers", 0, "scheduler workers (default GOMAXPROCS)")
 		quantum     = flag.Uint64("quantum", 0, "instructions per scheduling slice (default 25000)")
 		maxSessions = flag.Int("max-sessions", 0, "concurrent session cap (default 1024)")
+		machineName = flag.String("machine", "default",
+			"default machine preset ("+strings.Join(machine.Presets(), "|")+")")
+		queueDepth = flag.Int("queue-depth", 0, "runnable-session bound before load shedding (default max-sessions)")
+		shed       = flag.String("shed", "reject", "load-shedding policy past queue-depth (reject|pause)")
+		pushBuffer = flag.Int("push-buffer", 0, "per-subscription event buffer depth (default 128)")
 	)
 	flag.Parse()
 	if !*stdio && *listen == "" {
@@ -53,11 +68,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	mcfg, ok := machine.PresetConfig(*machineName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "disesrv: unknown machine preset %q (have %s)\n",
+			*machineName, strings.Join(machine.Presets(), ", "))
+		os.Exit(2)
+	}
+	policy, ok := serve.ParseShedPolicy(*shed)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "disesrv: unknown shed policy %q (have reject, pause)\n", *shed)
+		os.Exit(2)
+	}
 
 	srv := serve.New(serve.Config{
 		Workers:     *workers,
 		Quantum:     *quantum,
 		MaxSessions: *maxSessions,
+		Machine:     mcfg,
+		Preset:      *machineName,
+		QueueDepth:  *queueDepth,
+		Shed:        policy,
+		PushBuffer:  *pushBuffer,
 	})
 	defer srv.Close()
 
@@ -89,8 +120,19 @@ func main() {
 	wg.Wait()
 }
 
-// stdioConn glues stdin/stdout into one io.ReadWriter.
+// stdioConn glues stdin/stdout into one io.ReadWriteCloser. Close gives
+// the protocol's slow-consumer disconnect something to sever, but only
+// best-effort: stdin/stdout are inherited blocking descriptors outside
+// the runtime poller, so a Write already parked in the kernel stays
+// parked until the peer drains or exits — unlike TCP, where Close
+// unblocks it. The next I/O after Close fails, so teardown completes
+// once the pipe moves; push-heavy clients that may stall should prefer
+// -listen.
 type stdioConn struct{}
 
 func (stdioConn) Read(p []byte) (int, error)  { return os.Stdin.Read(p) }
 func (stdioConn) Write(p []byte) (int, error) { return os.Stdout.Write(p) }
+func (stdioConn) Close() error {
+	os.Stdin.Close()
+	return os.Stdout.Close()
+}

@@ -137,6 +137,14 @@ func NewMachineWith(cfg MachineConfig) *Machine { return machine.New(cfg) }
 // DefaultMachineConfig returns the paper's machine configuration.
 func DefaultMachineConfig() MachineConfig { return machine.DefaultConfig() }
 
+// MachinePresets lists the named machine configurations (default,
+// small-cache, big-l2, no-bpred, narrow-core) shared by the CLI tools
+// and the debug service's per-session machine selection.
+func MachinePresets() []string { return machine.Presets() }
+
+// MachinePresetConfig resolves a preset name to its configuration.
+func MachinePresetConfig(name string) (MachineConfig, bool) { return machine.PresetConfig(name) }
+
 // DefaultOptions returns the paper's defaults for a debugger back end.
 func DefaultOptions(b Backend) Options { return debug.DefaultOptions(b) }
 
@@ -177,15 +185,37 @@ func RunAllExperiments(cfg ExperimentConfig) []*ResultTable {
 type (
 	// Server multiplexes debug sessions over pooled machines.
 	Server = serve.Server
-	// ServeConfig sizes a Server (workers, quantum, session cap).
+	// ServeConfig sizes a Server (workers, quantum, session cap, queue
+	// depth, shedding policy, push buffers).
 	ServeConfig = serve.Config
+	// ServeSessionConfig carries per-session creation parameters
+	// (machine configuration, preset name, shedding priority).
+	ServeSessionConfig = serve.SessionConfig
 	// ServeSession is one session in a Server.
 	ServeSession = serve.Session
 	// ServeEvent is one entry in a session's event queue.
 	ServeEvent = serve.Event
-	// MachinePool recycles machines via Machine.Reset.
+	// ServeSubscription streams a session's events as they fire.
+	ServeSubscription = serve.Subscription
+	// ShedPolicy selects the overload behavior past the queue depth.
+	ShedPolicy = serve.ShedPolicy
+	// MachinePool recycles machines of one configuration via
+	// Machine.Reset.
 	MachinePool = serve.Pool
+	// MachinePoolSet recycles machines of many configurations, keyed by
+	// machine configuration under one shared idle budget.
+	MachinePoolSet = serve.PoolSet
 )
+
+// Load-shedding policies.
+const (
+	ShedRejectNew   = serve.ShedRejectNew
+	ShedPauseLowest = serve.ShedPauseLowest
+)
+
+// ErrServerOverloaded is returned by ServeSession.Continue when load
+// shedding rejects the admission.
+var ErrServerOverloaded = serve.ErrOverloaded
 
 // NewServer builds a debug service and starts its workers.
 func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
@@ -193,10 +223,18 @@ func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 // DefaultServeConfig returns the default service configuration.
 func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
 
+// ParseShedPolicy resolves a shedding-policy selector name (reject,
+// pause).
+func ParseShedPolicy(name string) (ShedPolicy, bool) { return serve.ParseShedPolicy(name) }
+
 // NewMachinePool builds a pool keeping at most capacity idle machines.
 func NewMachinePool(cfg MachineConfig, capacity int) *MachinePool {
 	return serve.NewPool(cfg, capacity)
 }
+
+// NewMachinePoolSet builds a multi-configuration pool keeping at most
+// capacity idle machines in total.
+func NewMachinePoolSet(capacity int) *MachinePoolSet { return serve.NewPoolSet(capacity) }
 
 // Monitor is an iWatcher-style programmatic monitoring interface built on
 // DISE productions (§6): programs register memory regions and in-

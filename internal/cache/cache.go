@@ -96,7 +96,8 @@ func (c *Cache) LineBase(addr uint64) uint64 {
 type AccessResult struct {
 	Hit          bool
 	WritebackReq bool   // an evicted dirty line must go to the next level
-	VictimAddr   uint64 // line address of the dirty victim if WritebackReq
+	VictimValid  bool   // a valid line (clean or dirty) was evicted
+	VictimAddr   uint64 // line address of the evicted line if VictimValid
 }
 
 // Access probes the cache for addr, allocating on miss and applying LRU
@@ -114,6 +115,16 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 func (c *Cache) Writeback(addr uint64) AccessResult {
 	c.stats.WritebackFills++
 	return c.access(addr, true, false)
+}
+
+// WritebackClean installs a clean line evicted from an upper-level cache
+// (I-side victim inclusion). Like Writeback it is accounted as a
+// writeback fill, not a demand access, but the installed line stays
+// clean: instruction lines are never modified, so they must not later
+// drain to memory as spurious writeback traffic.
+func (c *Cache) WritebackClean(addr uint64) AccessResult {
+	c.stats.WritebackFills++
+	return c.access(addr, false, false)
 }
 
 // access is the shared probe/allocate path; demand selects whether a miss
@@ -146,10 +157,13 @@ func (c *Cache) access(addr uint64, write, demand bool) AccessResult {
 		}
 	}
 	res := AccessResult{}
-	if set[victim].valid && set[victim].dirty {
-		res.WritebackReq = true
+	if set[victim].valid {
+		res.VictimValid = true
 		res.VictimAddr = c.victimAddr(addr, set[victim].tag)
-		c.stats.Writebacks++
+		if set[victim].dirty {
+			res.WritebackReq = true
+			c.stats.Writebacks++
+		}
 	}
 	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.lruClock}
 	return res

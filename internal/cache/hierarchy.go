@@ -102,6 +102,23 @@ func (h *Hierarchy) FetchLatency(pc, now uint64) uint64 {
 	}
 	r2 := h.L2.Access(pc, false)
 	lat += uint64(h.cfg.L2.HitLatency)
+	if r1.VictimValid {
+		// Every evicted L1I line re-enters L2 (victim inclusion), so
+		// refetching recently evicted code hits L2 instead of paying a
+		// full memory round trip. The victim sits in a buffer while the
+		// demand line is looked up and installs only afterwards —
+		// install-first could evict the very line being fetched when the
+		// two share an L2 set, manufacturing the refetch miss this path
+		// exists to avoid. Instruction lines are never dirty, so the
+		// install itself is clean and free of the bus, but it can evict
+		// an L2 dirty line, whose drain to memory must occupy the bus
+		// (like DataLatency's dirty-victim drain; the data side installs
+		// only dirty victims — clean L1D victims are presumed still
+		// L2-resident).
+		if vr := h.L2.WritebackClean(r1.VictimAddr); vr.WritebackReq {
+			h.busAcquire(now + lat)
+		}
+	}
 	if r2.Hit {
 		return lat
 	}

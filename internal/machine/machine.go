@@ -32,6 +32,52 @@ func DefaultConfig() Config {
 	}
 }
 
+// Config presets: the §5 sweep axes as named machine configurations, so a
+// debug service can multiplex heterogeneous sessions (and a CLI user can
+// pick a machine) without spelling out a full Config. The registry is
+// fixed at build time; Config values themselves remain fully open.
+var presetNames = []string{"default", "small-cache", "big-l2", "no-bpred", "narrow-core"}
+
+// Presets returns the preset names, "default" first.
+func Presets() []string {
+	out := make([]string, len(presetNames))
+	copy(out, presetNames)
+	return out
+}
+
+// PresetConfig resolves a preset name to its configuration.
+func PresetConfig(name string) (Config, bool) {
+	cfg := DefaultConfig()
+	switch name {
+	case "default":
+	case "small-cache":
+		// Pressure the memory system: 8KB L1s, 256KB L2, 16-entry TLBs.
+		cfg.Cache.L1I.SizeBytes = 8 << 10
+		cfg.Cache.L1D.SizeBytes = 8 << 10
+		cfg.Cache.L2.SizeBytes = 256 << 10
+		cfg.Cache.TLBEntries = 16
+	case "big-l2":
+		// Generous second level: 4MB 8-way.
+		cfg.Cache.L2.SizeBytes = 4 << 20
+		cfg.Cache.L2.Assoc = 8
+	case "no-bpred":
+		// Degenerate single-entry predictor tables: effectively static
+		// not-taken prediction, exposing flush-bound behavior.
+		cfg.Bpred = bpred.Config{PredEntries: 1, HistoryBits: 0, BTBEntries: 1, BTBAssoc: 1, RASEntries: 1}
+	case "narrow-core":
+		// A 2-wide core with half-size windows and one load port.
+		cfg.Core.Width = 2
+		cfg.Core.ROBSize = 32
+		cfg.Core.RSSize = 20
+		cfg.Core.LSQSize = 16
+		cfg.Core.IntALUs = 2
+		cfg.Core.LoadPorts = 1
+	default:
+		return Config{}, false
+	}
+	return cfg, true
+}
+
 // Machine is one simulated processor plus its loaded program.
 type Machine struct {
 	Cfg     Config

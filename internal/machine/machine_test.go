@@ -77,6 +77,56 @@ func TestAppendTextAndData(t *testing.T) {
 	}
 }
 
+// TestPresets: every preset must resolve, build a working machine, and
+// run a real program to completion; distinct presets must produce
+// distinct configurations (so the serve layer's config-keyed pools do not
+// silently collapse).
+func TestPresets(t *testing.T) {
+	src := `
+.data
+x: .quad 0
+.text
+main:
+    la  r1, x
+    li  r2, 50
+loop:
+    stq r2, 0(r1)
+    subq r2, #1, r2
+    bne r2, loop
+    halt
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Config]string{}
+	for _, name := range Presets() {
+		cfg, ok := PresetConfig(name)
+		if !ok {
+			t.Fatalf("preset %q did not resolve", name)
+		}
+		if prev, dup := seen[cfg]; dup {
+			t.Errorf("presets %q and %q share a configuration", prev, name)
+		}
+		seen[cfg] = name
+		m := New(cfg)
+		m.Load(p)
+		st := m.MustRun(0)
+		if !st.Halted || st.AppInsts == 0 {
+			t.Errorf("preset %q: stats %+v", name, st)
+		}
+		if got := m.ReadQuad(p.MustSymbol("x")); got != 1 {
+			t.Errorf("preset %q: x = %d, want 1", name, got)
+		}
+	}
+	if def, _ := PresetConfig("default"); def != DefaultConfig() {
+		t.Error(`preset "default" diverges from DefaultConfig`)
+	}
+	if _, ok := PresetConfig("nope"); ok {
+		t.Error("unknown preset resolved")
+	}
+}
+
 func TestWriteQuad(t *testing.T) {
 	m := NewDefault()
 	m.WriteQuad(0x5000, 0x1234)

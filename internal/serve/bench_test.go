@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/debug"
+	"repro/internal/machine"
 	"repro/internal/workload"
 )
 
@@ -25,41 +26,62 @@ func BenchmarkServeConcurrent(b *testing.B) {
 	w := workload.MustBuild(spec, 1<<20)
 	const perSession = 200_000 // simulated app instructions per session
 
-	for _, n := range []int{1, 8, 64} {
-		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
-			srv := New(Config{Quantum: 25_000, MaxSessions: n})
-			defer srv.Close()
-			totalInsts := uint64(0)
-			sessionsDone := 0
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				sessions := make([]*Session, n)
-				for j := range sessions {
-					s, err := srv.Create(w.Program, debug.DefaultOptions(debug.BackendDise))
-					if err != nil {
-						b.Fatal(err)
-					}
-					if err := s.Continue(perSession); err != nil {
-						b.Fatal(err)
-					}
-					sessions[j] = s
+	// run executes one benchmark configuration: every session j takes
+	// configs[j % len(configs)], so configs={zero} is the homogeneous
+	// case and a longer list exercises the config-keyed pools. The mixed
+	// variants should stay within ~10% of the homogeneous ones — sessions
+	// of different machine configurations share nothing but the
+	// scheduler and their own pool key.
+	run := func(b *testing.B, n int, configs []SessionConfig) {
+		srv := New(Config{Quantum: 25_000, MaxSessions: n})
+		defer srv.Close()
+		totalInsts := uint64(0)
+		sessionsDone := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sessions := make([]*Session, n)
+			for j := range sessions {
+				s, err := srv.CreateWith(w.Program, debug.DefaultOptions(debug.BackendDise), configs[j%len(configs)])
+				if err != nil {
+					b.Fatal(err)
 				}
-				for _, s := range sessions {
-					s.Wait()
-					st, _ := s.Stats()
-					if st.AppInsts != perSession {
-						b.Fatalf("session ran %d insts, want %d", st.AppInsts, perSession)
-					}
-					totalInsts += st.AppInsts
-					sessionsDone++
-					s.Close()
+				if err := s.Continue(perSession); err != nil {
+					b.Fatal(err)
 				}
+				sessions[j] = s
 			}
-			b.StopTimer()
-			secs := b.Elapsed().Seconds()
-			b.ReportMetric(float64(totalInsts)/secs/1e6, "Minsts/s")
-			b.ReportMetric(float64(sessionsDone)/secs, "sessions/s")
-		})
+			for _, s := range sessions {
+				s.Wait()
+				st, _ := s.Stats()
+				if st.AppInsts != perSession {
+					b.Fatalf("session ran %d insts, want %d", st.AppInsts, perSession)
+				}
+				totalInsts += st.AppInsts
+				sessionsDone++
+				s.Close()
+			}
+		}
+		b.StopTimer()
+		secs := b.Elapsed().Seconds()
+		b.ReportMetric(float64(totalInsts)/secs/1e6, "Minsts/s")
+		b.ReportMetric(float64(sessionsDone)/secs, "sessions/s")
+	}
+
+	homogeneous := []SessionConfig{{}}
+	var mixed []SessionConfig
+	for _, name := range []string{"default", "small-cache", "big-l2"} {
+		cfg, ok := machine.PresetConfig(name)
+		if !ok {
+			b.Fatalf("no preset %q", name)
+		}
+		mixed = append(mixed, SessionConfig{Machine: cfg, Preset: name})
+	}
+
+	for _, n := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) { run(b, n, homogeneous) })
+	}
+	for _, n := range []int{8, 64} {
+		b.Run(fmt.Sprintf("mixed/sessions=%d", n), func(b *testing.B) { run(b, n, mixed) })
 	}
 }
 

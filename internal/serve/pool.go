@@ -14,85 +14,159 @@ type PoolStats struct {
 	Dropped  uint64 // machines discarded because the idle list was full
 }
 
-// Pool is a free list of simulated machines sharing one configuration.
-// Building a machine allocates megabytes of cache, predictor, and
-// predecode state; a debug service creating and destroying sessions at
-// high rate would spend its time in the allocator without one. Put resets
-// the machine (machine.Machine.Reset) before parking it, so Get always
-// returns a machine that is bit-identical to a freshly constructed one —
+// Pool is a free list of simulated machines sharing one configuration —
+// a PoolSet pinned to a single key. Building a machine allocates
+// megabytes of cache, predictor, and predecode state; a debug service
+// creating and destroying sessions at high rate would spend its time in
+// the allocator without one. Put resets the machine
+// (machine.Machine.Reset) before parking it, so Get always returns a
+// machine that is bit-identical to a freshly constructed one —
 // TestPoolRecycledMachineEquivalentToFresh holds the pool to exactly
 // that.
 type Pool struct {
-	mu       sync.Mutex
-	cfg      machine.Config
-	idle     []*machine.Machine
-	reserved int // Puts past the cap check, resetting outside the lock
-	cap      int
-	stats    PoolStats
+	cfg machine.Config
+	set *PoolSet
 }
 
 // NewPool builds a pool that keeps at most capacity idle machines of the
 // given configuration. capacity <= 0 keeps none (every Put discards).
 func NewPool(cfg machine.Config, capacity int) *Pool {
-	if capacity < 0 {
-		capacity = 0
-	}
-	return &Pool{cfg: cfg, cap: capacity}
+	return &Pool{cfg: cfg, set: NewPoolSet(capacity)}
 }
 
 // Get returns an idle machine or builds a new one.
-func (p *Pool) Get() *machine.Machine {
-	p.mu.Lock()
-	if n := len(p.idle); n > 0 {
-		m := p.idle[n-1]
-		p.idle[n-1] = nil
-		p.idle = p.idle[:n-1]
-		p.stats.Reused++
-		p.mu.Unlock()
-		return m
-	}
-	p.stats.Created++
-	p.mu.Unlock()
-	// Build outside the lock: machine construction is the expensive part.
-	return machine.New(p.cfg)
-}
+func (p *Pool) Get() *machine.Machine { return p.set.Get(p.cfg) }
 
 // Put resets m and parks it for reuse; a full idle list discards it
 // without paying for the reset. m must no longer be shared — the caller
-// transfers ownership. The reservation counter keeps the cap strict
-// while the (multi-megabyte) reset runs outside the lock.
+// transfers ownership. A machine of a foreign configuration is
+// discarded outright: parking it would strand idle budget under a key
+// this pool's Get never reads.
 func (p *Pool) Put(m *machine.Machine) {
-	if m == nil {
+	if m != nil && m.Cfg != p.cfg {
+		p.set.discard()
 		return
 	}
-	p.mu.Lock()
-	if len(p.idle)+p.reserved >= p.cap {
-		p.stats.Dropped++
-		p.mu.Unlock()
-		return
-	}
-	p.reserved++
-	p.stats.Recycled++
-	p.mu.Unlock()
-
-	m.Reset()
-
-	p.mu.Lock()
-	p.reserved--
-	p.idle = append(p.idle, m)
-	p.mu.Unlock()
+	p.set.Put(m)
 }
 
 // Stats returns a snapshot of pool activity.
-func (p *Pool) Stats() PoolStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
-}
+func (p *Pool) Stats() PoolStats { return p.set.Stats() }
 
 // Idle returns how many machines are parked.
-func (p *Pool) Idle() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.idle)
+func (p *Pool) Idle() int { return p.set.Idle() }
+
+// PoolSet recycles machines of many configurations: one idle list per
+// machine.Config (all subsystem configs are comparable, so the config
+// itself is the key), with one idle capacity and one reservation counter
+// shared across every key. Sessions with different machines therefore
+// recycle independently — a Get only ever returns a machine built with
+// exactly the requested configuration, preserving the bit-identical-
+// recycle invariant per key — while total idle memory stays bounded no
+// matter how many distinct configurations clients bring.
+//
+// The reservation counter covers the window where Put has passed the cap
+// check but is still resetting the machine outside the lock. It is
+// deliberately owned by the set, not the per-key list: a concurrent
+// Get/Put pair may insert or empty a key's list (resizing the map)
+// between Put's two critical sections, and a counter living in a map
+// entry could be dropped with it, leaking the reservation and silently
+// shrinking the cap. TestPoolSetConcurrentPerKey hammers exactly that
+// interleaving.
+type PoolSet struct {
+	mu       sync.Mutex
+	cap      int
+	idle     map[machine.Config][]*machine.Machine
+	nIdle    int // total parked machines across all keys
+	reserved int // Puts past the cap check, resetting outside the lock
+	stats    PoolStats
+}
+
+// NewPoolSet builds a pool set that keeps at most capacity idle machines
+// in total, across all configurations. capacity <= 0 keeps none.
+func NewPoolSet(capacity int) *PoolSet {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &PoolSet{cap: capacity, idle: make(map[machine.Config][]*machine.Machine)}
+}
+
+// Get returns an idle machine with exactly the given configuration, or
+// builds a new one.
+func (ps *PoolSet) Get(cfg machine.Config) *machine.Machine {
+	ps.mu.Lock()
+	if list := ps.idle[cfg]; len(list) > 0 {
+		n := len(list)
+		m := list[n-1]
+		list[n-1] = nil
+		if n == 1 {
+			delete(ps.idle, cfg) // keep the map tight as configs come and go
+		} else {
+			ps.idle[cfg] = list[:n-1]
+		}
+		ps.nIdle--
+		ps.stats.Reused++
+		ps.mu.Unlock()
+		return m
+	}
+	ps.stats.Created++
+	ps.mu.Unlock()
+	// Build outside the lock: machine construction is the expensive part.
+	return machine.New(cfg)
+}
+
+// Put resets m and parks it under its own configuration; when the shared
+// idle budget is exhausted the machine is discarded without paying for
+// the reset. The caller transfers ownership of m.
+func (ps *PoolSet) Put(m *machine.Machine) {
+	if m == nil {
+		return
+	}
+	ps.mu.Lock()
+	if ps.nIdle+ps.reserved >= ps.cap {
+		ps.stats.Dropped++
+		ps.mu.Unlock()
+		return
+	}
+	ps.reserved++
+	ps.stats.Recycled++
+	ps.mu.Unlock()
+
+	m.Reset()
+
+	ps.mu.Lock()
+	ps.reserved--
+	ps.idle[m.Cfg] = append(ps.idle[m.Cfg], m)
+	ps.nIdle++
+	ps.mu.Unlock()
+}
+
+// discard records a machine dropped without being parked (e.g. a Pool
+// rejecting a foreign configuration), so Put accounting stays complete.
+func (ps *PoolSet) discard() {
+	ps.mu.Lock()
+	ps.stats.Dropped++
+	ps.mu.Unlock()
+}
+
+// Stats returns a snapshot of pool activity, aggregated across keys.
+func (ps *PoolSet) Stats() PoolStats {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.stats
+}
+
+// Idle returns how many machines are parked across all configurations.
+func (ps *PoolSet) Idle() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.nIdle
+}
+
+// Configs returns how many distinct configurations currently have parked
+// machines.
+func (ps *PoolSet) Configs() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.idle)
 }

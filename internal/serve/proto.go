@@ -3,22 +3,25 @@ package serve
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/debug"
+	"repro/internal/machine"
 	"repro/internal/pipeline"
 )
 
 // The wire protocol is line-delimited JSON: one Request per line in, one
-// Response per line out, in request order. Events are not pushed
-// asynchronously — they queue per session and are returned by the wait
-// and events ops — so a connection is a plain request/response stream
-// that works identically over TCP and stdio, and a session survives its
-// connection (reattach with the attach op). A minimal session:
+// Response per line out, in request order. By default events queue per
+// session and are returned by the wait and events ops, so a connection is
+// a plain request/response stream that works identically over TCP and
+// stdio, and a session survives its connection (reattach with the attach
+// op). A minimal session:
 //
 //	{"op":"create","program":". . ."}            -> {"ok":true,"session":1,...}
 //	{"op":"break","session":1,"sym":"loop"}      -> {"ok":true}
@@ -27,23 +30,43 @@ import (
 //	{"op":"stats","session":1}                   -> {"ok":true,"stats":{...}}
 //	{"op":"close","session":1}                   -> {"ok":true}
 //
-// Blocking ops (wait) block the connection; clients wanting concurrent
-// sessions open one connection per session or multiplex with seq.
+// The subscribe op upgrades the connection to push: after its response,
+// the session's events are additionally delivered as they fire, as
+// standalone frames interleaved between responses at line granularity:
+//
+//	{"op":"subscribe","session":1}               -> {"ok":true}
+//	                                             <- {"session":1,"event":{"kind":"watch",...}}
+//
+// A connection has one writer goroutine and a bounded outbox, so pushed
+// frames never corrupt request/response framing; a subscriber that stops
+// reading is disconnected (slow consumer), leaving its session intact
+// and attachable. Blocking ops (wait) block the connection; clients
+// wanting concurrent sessions open one connection per session, multiplex
+// with seq, or subscribe.
+//
+// Failures carry a machine-readable code alongside the message when one
+// applies: "overloaded" (load shedding rejected the continue/step),
+// "running", "halted", "closed", "no-server".
 
 // Request is one protocol request.
 type Request struct {
 	// Seq is echoed verbatim in the response for client-side matching.
 	Seq uint64 `json:"seq,omitempty"`
 	// Op selects the operation: create, attach, list, watch, break,
-	// continue, step, wait, events, stats, read, close, ping.
+	// continue, step, wait, events, subscribe, unsubscribe, stats, read,
+	// close, ping.
 	Op string `json:"op"`
-	// Session addresses every op except create, list, and ping.
+	// Session addresses every op except create, list, ping, and the
+	// server-wide stats form.
 	Session uint64 `json:"session,omitempty"`
 
-	// create: assembly source and back end name
-	// (dise|vm|hw|step|rewrite; default dise).
-	Program string `json:"program,omitempty"`
-	Backend string `json:"backend,omitempty"`
+	// create: assembly source, back end name (dise|vm|hw|step|rewrite;
+	// default dise), machine preset (default|small-cache|big-l2|no-bpred|
+	// narrow-core; default "default"), and load-shedding priority.
+	Program  string `json:"program,omitempty"`
+	Backend  string `json:"backend,omitempty"`
+	Machine  string `json:"machine,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 
 	// watch: watched symbol/address, kind (scalar|indirect|range; default
 	// scalar), size in bytes (default 8), range length, optional name and
@@ -59,6 +82,9 @@ type Request struct {
 	Budget uint64 `json:"budget,omitempty"`
 	Count  uint64 `json:"count,omitempty"`
 
+	// subscribe: per-subscription buffer depth (0 = server default).
+	Depth int `json:"depth,omitempty"`
+
 	// read: symbol or address of the quad to examine.
 	Addr string `json:"addr,omitempty"`
 }
@@ -71,7 +97,7 @@ type CondSpec struct {
 	Sym   string `json:"sym,omitempty"`
 }
 
-// StatsJSON is the stats op's payload.
+// StatsJSON is the stats op's per-session payload.
 type StatsJSON struct {
 	Cycles    uint64  `json:"cycles"`
 	AppInsts  uint64  `json:"app_insts"`
@@ -103,25 +129,214 @@ func statsJSON(st pipeline.Stats, tr debug.TransitionStats) *StatsJSON {
 
 // Response is one protocol response.
 type Response struct {
-	Seq      uint64     `json:"seq,omitempty"`
-	OK       bool       `json:"ok"`
-	Err      string     `json:"err,omitempty"`
-	Session  uint64     `json:"session,omitempty"`
-	State    string     `json:"state,omitempty"`
-	Entry    uint64     `json:"entry,omitempty"`
-	Events   []Event    `json:"events,omitempty"`
-	Stats    *StatsJSON `json:"stats,omitempty"`
-	Value    *uint64    `json:"value,omitempty"`
-	Sessions []uint64   `json:"sessions,omitempty"`
+	Seq      uint64       `json:"seq,omitempty"`
+	OK       bool         `json:"ok"`
+	Err      string       `json:"err,omitempty"`
+	Code     string       `json:"code,omitempty"` // machine-readable failure class
+	Session  uint64       `json:"session,omitempty"`
+	State    string       `json:"state,omitempty"`
+	Entry    uint64       `json:"entry,omitempty"`
+	Machine  string       `json:"machine,omitempty"` // session's machine preset
+	Events   []Event      `json:"events,omitempty"`
+	Stats    *StatsJSON   `json:"stats,omitempty"`
+	Server   *ServerStats `json:"server,omitempty"`
+	Value    *uint64      `json:"value,omitempty"`
+	Sessions []uint64     `json:"sessions,omitempty"`
+}
+
+// EventFrame is one asynchronously pushed event on a subscribed
+// connection. Frames are distinguishable from responses by the "event"
+// key (and the absence of "ok").
+type EventFrame struct {
+	Session uint64 `json:"session"`
+	Event   *Event `json:"event"`
+}
+
+// errCode maps session/server errors to wire codes.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrRunning):
+		return "running"
+	case errors.Is(err, ErrHalted):
+		return "halted"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	case errors.Is(err, ErrNoServer):
+		return "no-server"
+	}
+	return ""
+}
+
+// protoConn is one protocol connection: a read loop (ServeConn itself),
+// a writer goroutine serializing responses and pushed event frames, and
+// the connection's push subscriptions.
+type protoConn struct {
+	srv *Server
+	rw  io.ReadWriter
+
+	outc       chan any      // *Response and *EventFrame, in write order
+	done       chan struct{} // closed once, on teardown or slow-consumer kill
+	writerDone chan struct{} // closed when the writer goroutine exits
+	stopOnce   sync.Once
+	killOnce   sync.Once
+
+	mu   sync.Mutex
+	subs map[uint64]*connSub // session id -> live subscription
+
+	// afterSend is deferred by a handler and run by the read loop right
+	// after the response is enqueued. Written and cleared only on the
+	// read-loop goroutine — deliberately outside the mu-guarded fields.
+	afterSend func()
+}
+
+// connSub pairs a subscription with its forwarder goroutine's lifetime,
+// so unsubscribe can wait for the forwarder to stop before acking —
+// after the unsubscribe response no more frames arrive for the session.
+type connSub struct {
+	sub  *Subscription
+	quit chan struct{} // closed by retire: stop even if the outbox is full
+	done chan struct{} // closed when the forwarder exits
+}
+
+// stop begins teardown: senders give up and the writer drains what the
+// outbox already holds, then exits. The transport stays open so the
+// flush can land (graceful EOF path).
+func (c *protoConn) stop() {
+	c.stopOnce.Do(func() { close(c.done) })
+}
+
+// sever is the forceful teardown (slow consumer, write failure): stop,
+// and close the transport when it can be closed (TCP), unblocking any
+// pending read or write.
+func (c *protoConn) sever() {
+	c.stop()
+	c.killOnce.Do(func() {
+		if cl, ok := c.rw.(io.Closer); ok {
+			cl.Close()
+		}
+	})
+}
+
+// send hands v to the writer goroutine, giving up on teardown.
+func (c *protoConn) send(v any) {
+	select {
+	case c.outc <- v:
+	case <-c.done:
+	}
+}
+
+// writer drains the outbox onto the transport. On teardown it flushes
+// whatever the outbox still holds — a severed transport just errors the
+// writes out — so a response enqueued right before EOF is not lost.
+func (c *protoConn) writer() {
+	defer close(c.writerDone)
+	enc := json.NewEncoder(c.rw)
+	for {
+		select {
+		case v := <-c.outc:
+			if err := enc.Encode(v); err != nil {
+				c.sever()
+				return
+			}
+		case <-c.done:
+			for {
+				select {
+				case v := <-c.outc:
+					if enc.Encode(v) != nil {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// forward streams one subscription's events to the outbox as frames.
+func (c *protoConn) forward(id uint64, cs *connSub) {
+	defer close(cs.done)
+	for ev := range cs.sub.Events() {
+		ev := ev
+		frame := &EventFrame{Session: id, Event: &ev}
+		select {
+		case c.outc <- frame: // outbox has room: always flush
+			continue
+		default:
+		}
+		select {
+		case c.outc <- frame:
+		case <-c.done:
+			cs.sub.Cancel()
+			return
+		case <-cs.quit:
+			// Retired while the outbox is full: abandon the remaining
+			// frames rather than wedge on a client that stopped reading.
+			// Nothing is lost — a subscription is a tee, so the events
+			// are still in the session's pull queue.
+			return
+		}
+	}
+}
+
+// setSub registers a subscription for a session. The subscribe handler
+// retires any previous subscription before creating the new one, so
+// registration never clobbers a live entry.
+func (c *protoConn) setSub(id uint64, cs *connSub) {
+	c.mu.Lock()
+	c.subs[id] = cs
+	c.mu.Unlock()
+}
+
+// takeSub removes and returns the session's subscription, if any.
+func (c *protoConn) takeSub(id uint64) *connSub {
+	c.mu.Lock()
+	cs := c.subs[id]
+	delete(c.subs, id)
+	c.mu.Unlock()
+	return cs
+}
+
+// retire cancels the subscription and waits for its forwarder to stop,
+// so every frame it emitted precedes anything enqueued afterwards (the
+// unsubscribe ack in particular). Buffered frames flush while the
+// outbox has room; when it is full — the client stopped reading — the
+// forwarder abandons them instead of wedging the read loop.
+func (cs *connSub) retire() {
+	cs.sub.Cancel()
+	close(cs.quit)
+	<-cs.done
 }
 
 // ServeConn handles one protocol connection until EOF or a read error.
 // Sessions created on the connection outlive it; close them explicitly
-// or let Server.Close reap them.
+// or let Server.Close reap them. Subscriptions die with the connection.
 func (srv *Server) ServeConn(rw io.ReadWriter) error {
+	c := &protoConn{
+		srv:        srv,
+		rw:         rw,
+		outc:       make(chan any, srv.cfg.PushBuffer),
+		done:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+		subs:       make(map[uint64]*connSub),
+	}
+	go c.writer()
+	defer func() {
+		c.mu.Lock()
+		subs := c.subs
+		c.subs = map[uint64]*connSub{}
+		c.mu.Unlock()
+		for _, cs := range subs {
+			cs.sub.Cancel()
+		}
+		c.stop() // forwarders blocked on a full outbox exit via done
+		<-c.writerDone
+	}()
+
 	sc := bufio.NewScanner(rw)
 	sc.Buffer(make([]byte, 0, 64<<10), 4<<20) // programs ride in requests
-	enc := json.NewEncoder(rw)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
@@ -132,10 +347,20 @@ func (srv *Server) ServeConn(rw io.ReadWriter) error {
 		if err := json.Unmarshal([]byte(line), &req); err != nil {
 			resp.Err = fmt.Sprintf("bad request: %v", err)
 		} else {
-			resp = srv.handle(&req)
+			resp = srv.handle(c, &req)
 		}
-		if err := enc.Encode(&resp); err != nil {
-			return err
+		c.send(&resp)
+		if f := c.afterSend; f != nil {
+			// Subscription forwarding starts only after the subscribe
+			// response is in the outbox, so the response frame precedes
+			// the first pushed event frame.
+			c.afterSend = nil
+			f()
+		}
+		select {
+		case <-c.done:
+			return nil // severed (slow consumer or write failure)
+		default:
 		}
 	}
 	return sc.Err()
@@ -157,24 +382,30 @@ func (srv *Server) Serve(l net.Listener) error {
 }
 
 // handle executes one request.
-func (srv *Server) handle(req *Request) Response {
-	resp, err := srv.handleErr(req)
+func (srv *Server) handle(c *protoConn, req *Request) Response {
+	resp, err := srv.handleErr(c, req)
 	resp.Seq = req.Seq
 	if err != nil {
 		resp.OK = false
 		resp.Err = err.Error()
+		resp.Code = errCode(err)
 	} else {
 		resp.OK = true
 	}
 	return resp
 }
 
-func (srv *Server) handleErr(req *Request) (Response, error) {
+func (srv *Server) handleErr(c *protoConn, req *Request) (Response, error) {
 	switch req.Op {
 	case "ping":
 		return Response{}, nil
 	case "list":
 		return Response{Sessions: srv.Sessions()}, nil
+	case "stats":
+		if req.Session == 0 {
+			st := srv.Stats()
+			return Response{Server: &st}, nil
+		}
 	case "create":
 		name := req.Backend
 		if name == "" {
@@ -184,11 +415,24 @@ func (srv *Server) handleErr(req *Request) (Response, error) {
 		if !ok {
 			return Response{}, fmt.Errorf("unknown backend %q", req.Backend)
 		}
-		s, err := srv.CreateSource(req.Program, debug.DefaultOptions(backend))
+		sc := SessionConfig{Priority: req.Priority}
+		if req.Machine != "" {
+			mcfg, ok := machine.PresetConfig(req.Machine)
+			if !ok {
+				return Response{}, fmt.Errorf("unknown machine preset %q (have %s)",
+					req.Machine, strings.Join(machine.Presets(), ", "))
+			}
+			sc.Machine = mcfg
+			sc.Preset = req.Machine
+		}
+		s, err := srv.CreateSourceWith(req.Program, debug.DefaultOptions(backend), sc)
 		if err != nil {
 			return Response{}, err
 		}
-		return Response{Session: s.ID, State: s.State().String(), Entry: s.Program().Entry}, nil
+		// Echo the session's resolved preset, which may have been
+		// inherited from the server default rather than the request.
+		_, preset := s.MachineConfig()
+		return Response{Session: s.ID, State: s.State().String(), Entry: s.Program().Entry, Machine: preset}, nil
 	}
 
 	// Every other op addresses a session.
@@ -198,7 +442,8 @@ func (srv *Server) handleErr(req *Request) (Response, error) {
 	}
 	switch req.Op {
 	case "attach":
-		return Response{Session: s.ID, State: s.State().String(), Entry: s.Program().Entry}, nil
+		_, preset := s.MachineConfig()
+		return Response{Session: s.ID, State: s.State().String(), Entry: s.Program().Entry, Machine: preset}, nil
 	case "watch":
 		w, err := s.watchpointFromRequest(req)
 		if err != nil {
@@ -226,6 +471,28 @@ func (srv *Server) handleErr(req *Request) (Response, error) {
 		return Response{State: st.String(), Events: s.Events()}, nil
 	case "events":
 		return Response{State: s.State().String(), Events: s.Events()}, nil
+	case "subscribe":
+		id := s.ID
+		if prev := c.takeSub(id); prev != nil {
+			// Replacing a live subscription: retire the old one before the
+			// new one registers, so no event is ever teed to both (which
+			// would push duplicate frames) and no stale frame trails the
+			// new subscribe's response.
+			prev.retire()
+		}
+		sub := s.Subscribe(req.Depth, c.sever) // slow consumers lose the connection
+		c.afterSend = func() {
+			cs := &connSub{sub: sub, quit: make(chan struct{}), done: make(chan struct{})}
+			c.setSub(id, cs)
+			go c.forward(id, cs)
+		}
+		return Response{Session: id, State: s.State().String()}, nil
+	case "unsubscribe":
+		if cs := c.takeSub(s.ID); cs != nil {
+			// Buffered frames flush before the ack; none follow it.
+			cs.retire()
+		}
+		return Response{Session: s.ID}, nil
 	case "stats":
 		st, tr := s.Stats()
 		return Response{State: s.State().String(), Stats: statsJSON(st, tr)}, nil

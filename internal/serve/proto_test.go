@@ -7,6 +7,9 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/machine"
 )
 
 // protoClient drives the wire protocol over an in-memory connection the
@@ -30,25 +33,47 @@ func newProtoClient(t *testing.T, srv *Server) *protoClient {
 	return &protoClient{t: t, rw: client, sc: bufio.NewScanner(client), enc: json.NewEncoder(client)}
 }
 
-// call sends req and returns the matching response.
+// wireFrame decodes any server-to-client line: a Response, or a pushed
+// EventFrame (distinguished by the "event" key).
+type wireFrame struct {
+	Response
+	Event *Event `json:"event,omitempty"`
+}
+
+// call sends req and returns the matching response, collecting (and
+// discarding) any event frames pushed in between.
 func (c *protoClient) call(req Request) Response {
+	resp, _ := c.callCollect(req)
+	return resp
+}
+
+// callCollect sends req and scans until the matching response arrives,
+// returning it along with every event frame interleaved before it.
+func (c *protoClient) callCollect(req Request) (Response, []Event) {
 	c.t.Helper()
 	c.seq++
 	req.Seq = c.seq
 	if err := c.enc.Encode(&req); err != nil {
 		c.t.Fatal(err)
 	}
-	if !c.sc.Scan() {
-		c.t.Fatalf("connection closed: %v", c.sc.Err())
+	var pushed []Event
+	for {
+		if !c.sc.Scan() {
+			c.t.Fatalf("connection closed: %v", c.sc.Err())
+		}
+		var f wireFrame
+		if err := json.Unmarshal(c.sc.Bytes(), &f); err != nil {
+			c.t.Fatalf("bad frame %q: %v", c.sc.Text(), err)
+		}
+		if f.Event != nil {
+			pushed = append(pushed, *f.Event)
+			continue
+		}
+		if f.Seq != c.seq {
+			c.t.Fatalf("response seq %d, want %d", f.Seq, c.seq)
+		}
+		return f.Response, pushed
 	}
-	var resp Response
-	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
-		c.t.Fatalf("bad response %q: %v", c.sc.Text(), err)
-	}
-	if resp.Seq != c.seq {
-		c.t.Fatalf("response seq %d, want %d", resp.Seq, c.seq)
-	}
-	return resp
 }
 
 // ok is call requiring success.
@@ -140,6 +165,305 @@ func TestProtocolSession(t *testing.T) {
 	}
 	if list = c.ok(Request{Op: "list"}); len(list.Sessions) != 0 {
 		t.Fatalf("list after close = %+v", list)
+	}
+}
+
+// countdown30Prog is countdownProg with 30 iterations, enough traffic to
+// overflow small push buffers.
+const countdown30Prog = `
+.data
+.align 8
+v: .quad 0
+.text
+.entry main
+main:
+    la  r1, v
+    li  r2, 30
+loop:
+.stmt
+    stq r2, 0(r1)
+    subq r2, #1, r2
+    bne r2, loop
+    halt
+`
+
+// TestProtocolSubscribePush: subscribed connections receive event frames
+// in execution order, interleaved with request/response traffic on the
+// same connection at line granularity, without disturbing the pull ops.
+func TestProtocolSubscribePush(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 2, Quantum: 1000})
+	c := newProtoClient(t, srv)
+
+	created := c.ok(Request{Op: "create", Program: countdownProg})
+	id := created.Session
+	c.ok(Request{Op: "watch", Session: id, Sym: "v"})
+	sub := c.ok(Request{Op: "subscribe", Session: id})
+	if sub.Session != id {
+		t.Fatalf("subscribe = %+v", sub)
+	}
+
+	// Drive to halt over the same connection, collecting frames pushed
+	// between requests and responses.
+	var pushed []Event
+	for {
+		resp, evs := c.callCollect(Request{Op: "continue", Session: id})
+		if !resp.OK {
+			t.Fatalf("continue: %+v", resp)
+		}
+		pushed = append(pushed, evs...)
+		resp, evs = c.callCollect(Request{Op: "wait", Session: id})
+		if !resp.OK {
+			t.Fatalf("wait: %+v", resp)
+		}
+		pushed = append(pushed, evs...)
+		if resp.State == "halted" {
+			break
+		}
+	}
+	// The tail of the stream may still be in flight; ping until the halt
+	// frame arrives.
+	deadline := time.Now().Add(30 * time.Second)
+	for len(pushed) < 11 && time.Now().Before(deadline) {
+		_, evs := c.callCollect(Request{Op: "ping"})
+		pushed = append(pushed, evs...)
+	}
+	if len(pushed) != 11 {
+		t.Fatalf("pushed %d events, want 11: %+v", len(pushed), pushed)
+	}
+	for i := 0; i < 10; i++ {
+		if pushed[i].Kind != EventWatch || pushed[i].Value != uint64(10-i) {
+			t.Fatalf("pushed[%d] = %+v, want watch value %d (order broken)", i, pushed[i], 10-i)
+		}
+	}
+	if pushed[10].Kind != EventHalt {
+		t.Fatalf("pushed[10] = %+v, want halt", pushed[10])
+	}
+	// wait drained the pull queue in parallel the whole time — push is a
+	// tee, and both views agree on the event count.
+	c.ok(Request{Op: "close", Session: id})
+}
+
+// TestProtocolUnsubscribe: buffered frames flush before the unsubscribe
+// ack, and after the ack no frames are pushed.
+func TestProtocolUnsubscribe(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, Quantum: 1000})
+	c := newProtoClient(t, srv)
+	created := c.ok(Request{Op: "create", Program: countdownProg})
+	id := created.Session
+	c.ok(Request{Op: "watch", Session: id, Sym: "v"})
+	c.ok(Request{Op: "subscribe", Session: id})
+	// Generate one event while subscribed so the buffer is non-empty at
+	// unsubscribe time; its frame must arrive no later than the ack.
+	c.ok(Request{Op: "continue", Session: id})
+	resp, early := c.callCollect(Request{Op: "wait", Session: id})
+	if !resp.OK {
+		t.Fatalf("wait: %+v", resp)
+	}
+	_, flushed := c.callCollect(Request{Op: "unsubscribe", Session: id})
+	if got := len(early) + len(flushed); got != 1 {
+		t.Fatalf("frames before/at unsubscribe = %d (early %+v, flushed %+v), want 1",
+			got, early, flushed)
+	}
+	for {
+		resp, evs := c.callCollect(Request{Op: "continue", Session: id})
+		if !resp.OK {
+			t.Fatalf("continue: %+v", resp)
+		}
+		if len(evs) != 0 {
+			t.Fatalf("frames pushed after unsubscribe: %+v", evs)
+		}
+		resp, evs = c.callCollect(Request{Op: "wait", Session: id})
+		if !resp.OK || len(evs) != 0 {
+			t.Fatalf("wait after unsubscribe = %+v, frames %+v", resp, evs)
+		}
+		if resp.State == "halted" {
+			break
+		}
+	}
+}
+
+// TestProtocolResubscribe: replacing a live subscription mid-session
+// must not duplicate frames — over the whole run each event is pushed
+// exactly once, whichever subscription was current when it fired.
+func TestProtocolResubscribe(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, Quantum: 1000})
+	c := newProtoClient(t, srv)
+	created := c.ok(Request{Op: "create", Program: countdownProg})
+	id := created.Session
+	c.ok(Request{Op: "watch", Session: id, Sym: "v"})
+	c.ok(Request{Op: "subscribe", Session: id})
+	var pushed []Event
+	rounds := 0
+	for {
+		resp, evs := c.callCollect(Request{Op: "continue", Session: id})
+		if !resp.OK {
+			t.Fatalf("continue: %+v", resp)
+		}
+		pushed = append(pushed, evs...)
+		resp, evs = c.callCollect(Request{Op: "wait", Session: id})
+		pushed = append(pushed, evs...)
+		if resp.State == "halted" {
+			break
+		}
+		if rounds++; rounds == 3 {
+			// Replace the subscription mid-run with a different depth.
+			_, evs := c.callCollect(Request{Op: "subscribe", Session: id, Depth: 16})
+			pushed = append(pushed, evs...)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for len(pushed) < 11 && time.Now().Before(deadline) {
+		_, evs := c.callCollect(Request{Op: "ping"})
+		pushed = append(pushed, evs...)
+	}
+	if len(pushed) != 11 {
+		t.Fatalf("pushed %d frames across a re-subscribe, want exactly 11: %+v", len(pushed), pushed)
+	}
+}
+
+// TestProtocolSubscribeDepthClamped: an absurd client-supplied buffer
+// depth must not crash or balloon the server — it is clamped, the
+// subscription works, and the connection stays healthy.
+func TestProtocolSubscribeDepthClamped(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, Quantum: 1000})
+	c := newProtoClient(t, srv)
+	created := c.ok(Request{Op: "create", Program: countdownProg})
+	id := created.Session
+	c.ok(Request{Op: "watch", Session: id, Sym: "v"})
+	c.ok(Request{Op: "subscribe", Session: id, Depth: 1 << 30})
+	c.ok(Request{Op: "continue", Session: id})
+	resp, evs := c.callCollect(Request{Op: "wait", Session: id})
+	deadline := time.Now().Add(30 * time.Second)
+	for len(evs) == 0 && time.Now().Before(deadline) {
+		_, more := c.callCollect(Request{Op: "ping"})
+		evs = append(evs, more...)
+	}
+	if !resp.OK || len(evs) == 0 || evs[0].Kind != EventWatch {
+		t.Fatalf("clamped subscription pushed nothing: resp %+v, frames %+v", resp, evs)
+	}
+}
+
+// TestProtocolSlowConsumer: a subscriber that stops reading is
+// disconnected once it falls a full buffer behind, while the session —
+// driven from a second connection — survives and stays attachable.
+func TestProtocolSlowConsumer(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 2, Quantum: 1000, PushBuffer: 4})
+	slow := newProtoClient(t, srv)
+	created := slow.ok(Request{Op: "create", Program: countdown30Prog})
+	id := created.Session
+	slow.ok(Request{Op: "watch", Session: id, Sym: "v"})
+	slow.ok(Request{Op: "subscribe", Session: id})
+	// The slow client now goes silent: it neither reads nor writes.
+
+	driver := newProtoClient(t, srv)
+	if att := driver.ok(Request{Op: "attach", Session: id}); att.Session != id {
+		t.Fatalf("attach = %+v", att)
+	}
+	for {
+		resp := driver.ok(Request{Op: "continue", Session: id})
+		if !resp.OK {
+			t.Fatalf("continue: %+v", resp)
+		}
+		if resp = driver.ok(Request{Op: "wait", Session: id}); resp.State == "halted" {
+			break
+		}
+	}
+	// The 31 events overran the 4-deep buffers long ago: the slow
+	// consumer must have been severed...
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.Stats().SlowConsumers == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow consumer never dropped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...its connection killed (reads now fail)...
+	if slow.sc.Scan() {
+		// Buffered frames may still drain; scan until EOF with a limit.
+		n := 0
+		for slow.sc.Scan() && n < 1000 {
+			n++
+		}
+	}
+	// ...and the session is intact and attachable.
+	att := driver.ok(Request{Op: "attach", Session: id})
+	if att.Session != id || att.State != "halted" {
+		t.Fatalf("attach after slow-consumer drop = %+v", att)
+	}
+	st := driver.ok(Request{Op: "stats", Session: id})
+	if st.Stats == nil || st.Stats.User != 30 {
+		t.Fatalf("stats after slow-consumer drop = %+v", st)
+	}
+}
+
+// TestProtocolMachinePresets: create takes a machine preset, echoes it on
+// create and attach, and rejects unknown names.
+func TestProtocolMachinePresets(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, Quantum: 1000})
+	c := newProtoClient(t, srv)
+	created := c.ok(Request{Op: "create", Program: countdownProg, Machine: "small-cache", Priority: 3})
+	if created.Machine != "small-cache" {
+		t.Fatalf("create echo = %+v", created)
+	}
+	att := c.ok(Request{Op: "attach", Session: created.Session})
+	if att.Machine != "small-cache" {
+		t.Fatalf("attach echo = %+v", att)
+	}
+	s, ok := srv.Attach(created.Session)
+	if !ok {
+		t.Fatal("no session")
+	}
+	if s.Priority() != 3 {
+		t.Errorf("priority = %d, want 3", s.Priority())
+	}
+	want, _ := machine.PresetConfig("small-cache")
+	if cfg, _ := s.MachineConfig(); cfg != want {
+		t.Error("session machine config is not the preset's")
+	}
+	if resp := c.call(Request{Op: "create", Program: countdownProg, Machine: "huge"}); resp.OK {
+		t.Error("unknown preset accepted")
+	} else if !strings.Contains(resp.Err, "preset") {
+		t.Errorf("unknown preset error = %q", resp.Err)
+	}
+
+	// Sessions inheriting the server default echo its preset name — both
+	// an explicit server-level preset and the implicit "default".
+	smallSrv := newTestServer(t, Config{Workers: 1, Machine: want, Preset: "small-cache"})
+	cs := newProtoClient(t, smallSrv)
+	if resp := cs.ok(Request{Op: "create", Program: countdownProg}); resp.Machine != "small-cache" {
+		t.Errorf("inherited create echo = %+v, want small-cache", resp)
+	}
+	if resp := c.ok(Request{Op: "create", Program: countdownProg}); resp.Machine != "default" {
+		t.Errorf("default create echo = %+v, want default", resp)
+	}
+}
+
+// TestProtocolOverloadedCode: load shedding surfaces as the "overloaded"
+// error code on the wire.
+func TestProtocolOverloadedCode(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, Quantum: 1000, QueueDepth: 1})
+	c := newProtoClient(t, srv)
+	a := c.ok(Request{Op: "create", Program: spinProg})
+	b := c.ok(Request{Op: "create", Program: spinProg})
+	c.ok(Request{Op: "continue", Session: a.Session})
+	resp := c.call(Request{Op: "continue", Session: b.Session})
+	if resp.OK || resp.Code != "overloaded" {
+		t.Fatalf("overloaded continue = %+v, want code overloaded", resp)
+	}
+	if resp.State != "idle" {
+		t.Errorf("shed session state = %q, want idle", resp.State)
+	}
+}
+
+// TestProtocolServerStats: the session-less stats form reports
+// server-wide counters.
+func TestProtocolServerStats(t *testing.T) {
+	srv := newTestServer(t, DefaultConfig())
+	c := newProtoClient(t, srv)
+	c.ok(Request{Op: "create", Program: countdownProg})
+	resp := c.ok(Request{Op: "stats"})
+	if resp.Server == nil || resp.Server.SessionsCreated != 1 {
+		t.Fatalf("server stats = %+v", resp)
 	}
 }
 

@@ -1,24 +1,34 @@
 // Package serve is the concurrent debug service: it multiplexes many
-// independent debug sessions over a pool of reusable simulated machines
-// and a fixed set of scheduler workers.
+// independent debug sessions over pooled reusable simulated machines and
+// a fixed set of scheduler workers.
 //
 // The pieces:
 //
-//   - Pool recycles machines. machine.Machine.Reset reaches down through
-//     memory, the cache hierarchy, the branch predictor, the DISE engine,
-//     and the pipeline core, so a recycled machine is bit-identical to a
-//     fresh one and sessions never observe each other.
+//   - PoolSet recycles machines, one idle list per machine configuration.
+//     machine.Machine.Reset reaches down through memory, the cache
+//     hierarchy, the branch predictor, the DISE engine, and the pipeline
+//     core, so a recycled machine is bit-identical to a fresh one of the
+//     same configuration and sessions never observe each other.
 //   - Session is one create/watch/break/continue/step/stats/close
 //     lifecycle with a per-session event queue. Execution is asynchronous:
 //     Continue returns immediately and Wait observes the next pause.
+//     Subscribe additionally streams events to a bounded channel as they
+//     fire, for push-style clients.
 //   - Server owns the sessions and runs them: each of M worker goroutines
 //     repeatedly pops a runnable session from a FIFO run queue and
 //     executes one bounded step-quantum (Config.Quantum application
 //     instructions), requeueing the session if it has budget left. N
 //     sessions therefore share M workers round-robin, and no session can
-//     monopolize a worker for more than a quantum.
+//     monopolize a worker for more than a quantum. Sessions carry their
+//     own machine configuration and a shedding priority, so one server
+//     hosts heterogeneous machines.
+//   - When more sessions are runnable than Config.QueueDepth allows, new
+//     admissions are shed: rejected outright (ShedRejectNew) or traded
+//     against a lower-priority queued session, which is paused with an
+//     EventShed and can simply be continued later (ShedPauseLowest).
 //   - proto.go serves the session API as a line-delimited JSON protocol
-//     over any connection (cmd/disesrv binds it to TCP and stdio).
+//     over any connection (cmd/disesrv binds it to TCP and stdio),
+//     including asynchronous event push on subscribed connections.
 //
 // The simulated machine is single-threaded by design; the service keeps
 // it that way by construction — a session is on the run queue at most
@@ -26,6 +36,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -34,6 +45,46 @@ import (
 	"repro/internal/debug"
 	"repro/internal/machine"
 )
+
+// ErrOverloaded is returned when load shedding rejects an admission: the
+// run queue is at Config.QueueDepth and policy found nothing to pause.
+var ErrOverloaded = errors.New("serve: server overloaded, run queue full")
+
+// ShedPolicy selects what happens when a Continue would push the number
+// of runnable sessions past Config.QueueDepth.
+type ShedPolicy int
+
+const (
+	// ShedRejectNew rejects the new admission with ErrOverloaded; already
+	// runnable sessions are undisturbed.
+	ShedRejectNew ShedPolicy = iota
+	// ShedPauseLowest pauses the lowest-priority queued session (only if
+	// it ranks strictly below the newcomer) to make room; the victim gets
+	// an EventShed and can be continued again later. With no lower-priority
+	// victim available the admission is rejected as in ShedRejectNew.
+	ShedPauseLowest
+)
+
+var shedNames = [...]string{"reject", "pause"}
+
+func (p ShedPolicy) String() string {
+	if int(p) < len(shedNames) {
+		return shedNames[p]
+	}
+	return fmt.Sprintf("shed(%d)", int(p))
+}
+
+// ParseShedPolicy resolves a policy selector name (reject, pause), shared
+// by the CLI flags and tests.
+func ParseShedPolicy(name string) (ShedPolicy, bool) {
+	switch name {
+	case "reject", "":
+		return ShedRejectNew, true
+	case "pause":
+		return ShedPauseLowest, true
+	}
+	return 0, false
+}
 
 // Config parameterizes a Server.
 type Config struct {
@@ -45,14 +96,40 @@ type Config struct {
 	Quantum uint64
 	// MaxSessions bounds concurrently open sessions (default 1024).
 	MaxSessions int
-	// PoolIdle is how many reset machines the pool keeps warm. 0 selects
-	// the default, MaxSessions — a steady-state service then allocates no
-	// machines, at the cost of retaining up to MaxSessions idle machines
-	// after a load spike. Negative disables idle pooling entirely (every
-	// close discards the machine).
+	// PoolIdle is how many reset machines the pool keeps warm, in total
+	// across machine configurations. 0 selects the default, MaxSessions —
+	// a steady-state service then allocates no machines, at the cost of
+	// retaining up to MaxSessions idle machines after a load spike.
+	// Negative disables idle pooling entirely (every close discards the
+	// machine).
 	PoolIdle int
-	// Machine configures pooled machines (default machine.DefaultConfig).
+	// Machine configures pooled machines for sessions that do not bring
+	// their own configuration (default machine.DefaultConfig).
 	Machine machine.Config
+	// Preset optionally names Machine (informational): sessions that
+	// inherit the default machine echo it on the wire protocol's create
+	// and attach. Defaults to "default" when Machine is defaulted too.
+	Preset string
+	// QueueDepth bounds how many sessions may be runnable (queued or
+	// executing) at once; admissions beyond it are shed per Shed. 0
+	// selects MaxSessions, which never sheds (a session is runnable at
+	// most once).
+	QueueDepth int
+	// Shed selects the overload policy (default ShedRejectNew).
+	Shed ShedPolicy
+	// PushBuffer is the per-subscription event buffer depth used by the
+	// wire protocol's subscribe op; a subscriber that falls this many
+	// events behind is dropped as a slow consumer. It also sizes each
+	// protocol connection's outbox (the queue between the request
+	// handler and the per-connection writer goroutine), so very small
+	// values throttle response pipelining as well as push (default 128).
+	PushBuffer int
+	// EventBuffer bounds each session's pull-side event queue (the one
+	// wait/events drain). When it fills — a client that only subscribes,
+	// or never polls — the oldest half is discarded, counted in
+	// ServerStats.EventsDropped, so an undrained hot-loop watchpoint
+	// cannot grow server memory without bound (default 65536).
+	EventBuffer int
 }
 
 // DefaultConfig returns the default service configuration.
@@ -62,6 +139,8 @@ func DefaultConfig() Config {
 		Quantum:     25_000,
 		MaxSessions: 1024,
 		Machine:     machine.DefaultConfig(),
+		PushBuffer:  128,
+		EventBuffer: 65536,
 	}
 }
 
@@ -85,35 +164,82 @@ func (c Config) withDefaults() Config {
 	zero := machine.Config{}
 	if c.Machine == zero {
 		c.Machine = d.Machine
+		if c.Preset == "" {
+			c.Preset = "default"
+		}
+	}
+	if c.QueueDepth <= 0 || c.QueueDepth > c.MaxSessions {
+		c.QueueDepth = c.MaxSessions
+	}
+	if c.PushBuffer <= 0 {
+		c.PushBuffer = d.PushBuffer
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = d.EventBuffer
 	}
 	return c
 }
 
-// ServerStats counts server activity.
+// SessionConfig carries per-session creation parameters for CreateWith.
+type SessionConfig struct {
+	// Machine selects this session's machine configuration; the zero
+	// value selects the server default (Config.Machine). Sessions with
+	// different configurations recycle machines independently.
+	Machine machine.Config
+	// Preset optionally records the name Machine was resolved from
+	// (informational; echoed by the wire protocol).
+	Preset string
+	// Priority ranks the session for ShedPauseLowest: higher outranks
+	// lower, and only a strictly lower-priority session can be paused to
+	// admit this one. The default is 0.
+	Priority int
+}
+
+// ServerStats counts server activity (also the wire protocol's
+// server-wide stats payload, hence the JSON tags).
 type ServerStats struct {
-	SessionsCreated uint64
-	SessionsClosed  uint64
-	QuantaRun       uint64
-	Pool            PoolStats
+	SessionsCreated uint64    `json:"sessions_created"`
+	SessionsClosed  uint64    `json:"sessions_closed"`
+	QuantaRun       uint64    `json:"quanta_run"`
+	Shed            uint64    `json:"shed"`           // admissions rejected by load shedding
+	Paused          uint64    `json:"paused"`         // sessions paused to make room (ShedPauseLowest)
+	SlowConsumers   uint64    `json:"slow_consumers"` // subscriptions dropped for not keeping up
+	EventsDropped   uint64    `json:"events_dropped"` // pull-queue events discarded at EventBuffer
+	Runnable        int       `json:"runnable"`       // sessions admitted to run right now
+	QueueLen        int       `json:"queue_len"`      // run-queue length right now
+	PoolConfigs     int       `json:"pool_configs"`   // distinct machine configurations with parked machines
+	Pool            PoolStats `json:"pool"`
 }
 
 // Server multiplexes debug sessions over pooled machines and scheduler
 // workers. Create with New; stop with Close.
 type Server struct {
-	cfg  Config
-	pool *Pool
+	cfg   Config
+	pools *PoolSet
 
-	mu       sync.Mutex
-	cond     *sync.Cond // broadcast when a session is dropped
-	sessions map[uint64]*Session
-	nextID   uint64
-	closed   bool
-	created  uint64
-	dropped  uint64
-	quanta   uint64
+	mu        sync.Mutex
+	cond      *sync.Cond // broadcast when a session is dropped
+	runcond   *sync.Cond // signaled when the run queue gains work
+	sessions  map[uint64]*Session
+	nextID    uint64
+	closed    bool
+	created   uint64
+	dropped   uint64
+	quanta    uint64
+	shed      uint64
+	paused    uint64
+	slow      uint64
+	evDropped uint64
 
-	runq chan *Session
-	wg   sync.WaitGroup
+	// The run queue is a FIFO over a head-indexed slice (not a channel)
+	// so load shedding can inspect queued sessions for a pause victim.
+	// Entries below runqHead are cleared; the backing array is compacted
+	// once the dead prefix dominates. A session is queued at most once.
+	runq     []*Session
+	runqHead int
+	runnable int // queued + executing sessions (bounded by QueueDepth)
+
+	wg sync.WaitGroup
 }
 
 // New builds a server and starts its workers.
@@ -121,13 +247,11 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	srv := &Server{
 		cfg:      cfg,
-		pool:     NewPool(cfg.Machine, cfg.PoolIdle),
+		pools:    NewPoolSet(cfg.PoolIdle),
 		sessions: make(map[uint64]*Session),
-		// One slot per session suffices: a session is enqueued at most
-		// once (only its worker requeues it, only when it keeps running).
-		runq: make(chan *Session, cfg.MaxSessions),
 	}
 	srv.cond = sync.NewCond(&srv.mu)
+	srv.runcond = sync.NewCond(&srv.mu)
 	srv.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go srv.worker()
@@ -138,54 +262,156 @@ func New(cfg Config) *Server {
 // Config returns the server's effective configuration.
 func (srv *Server) Config() Config { return srv.cfg }
 
+// queuedLocked returns the run-queue length. Caller holds srv.mu.
+func (srv *Server) queuedLocked() int { return len(srv.runq) - srv.runqHead }
+
+// pushLocked appends s to the run queue. Caller holds srv.mu.
+func (srv *Server) pushLocked(s *Session) { srv.runq = append(srv.runq, s) }
+
+// popLocked removes and returns the queue head. Caller holds srv.mu and
+// has checked the queue is non-empty.
+func (srv *Server) popLocked() *Session {
+	s := srv.runq[srv.runqHead]
+	srv.runq[srv.runqHead] = nil
+	srv.runqHead++
+	if srv.runqHead == len(srv.runq) {
+		srv.runq = srv.runq[:0]
+		srv.runqHead = 0
+	} else if srv.runqHead > 64 && srv.runqHead*2 > len(srv.runq) {
+		n := copy(srv.runq, srv.runq[srv.runqHead:])
+		for i := n; i < len(srv.runq); i++ {
+			srv.runq[i] = nil
+		}
+		srv.runq = srv.runq[:n]
+		srv.runqHead = 0
+	}
+	return s
+}
+
 // worker is one scheduler goroutine: pop, run a quantum, requeue.
 func (srv *Server) worker() {
 	defer srv.wg.Done()
-	for s := range srv.runq {
+	for {
+		srv.mu.Lock()
+		for srv.queuedLocked() == 0 && !srv.closed {
+			srv.runcond.Wait()
+		}
+		if srv.queuedLocked() == 0 { // closed and drained
+			srv.mu.Unlock()
+			return
+		}
+		s := srv.popLocked()
+		srv.mu.Unlock()
+
+		if s.shedReq.CompareAndSwap(true, false) {
+			// Load shedding picked this session as a pause victim; its
+			// runnable slot was already released when it was marked.
+			s.pauseShed()
+			continue
+		}
+
 		again := s.runQuantum(srv.cfg.Quantum)
 		srv.mu.Lock()
 		srv.quanta++
+		if again && !srv.closed {
+			srv.pushLocked(s)
+			srv.runcond.Signal()
+			srv.mu.Unlock()
+			continue
+		}
+		srv.runnable--
+		closed := srv.closed
 		srv.mu.Unlock()
-		if again {
-			if srv.enqueue(s) != nil {
-				// Shutdown raced the requeue: park the session stopped so
-				// Close can finalize it.
-				s.mu.Lock()
-				if s.state == StateRunning {
-					s.state = StateIdle
-				}
-				if s.closeReq {
-					s.finalizeLocked()
-				}
-				s.cond.Broadcast()
-				s.mu.Unlock()
+		if again && closed {
+			// Shutdown raced the requeue: park the session stopped so
+			// Close can finalize it.
+			s.mu.Lock()
+			if s.state == StateRunning {
+				s.state = StateIdle
 			}
+			if s.closeReq {
+				s.finalizeLocked()
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
 		}
 	}
 }
 
-// enqueue puts s on the run queue. The caller has already marked the
-// session running; a session is never on the queue twice.
+// enqueue admits s to the run queue (a user-initiated resume, subject to
+// load shedding — worker requeues of in-flight sessions go through the
+// worker loop and are never shed, they own an admitted slot already).
+// The caller has already marked the session running; a session is never
+// on the queue twice.
 func (srv *Server) enqueue(s *Session) error {
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
 	if srv.closed {
 		return ErrNoServer
 	}
-	srv.runq <- s // cannot block: capacity = MaxSessions >= open sessions
+	if srv.runnable >= srv.cfg.QueueDepth {
+		victim := (*Session)(nil)
+		if srv.cfg.Shed == ShedPauseLowest {
+			victim = srv.shedVictimLocked(s.priority)
+		}
+		if victim == nil {
+			srv.shed++
+			return ErrOverloaded
+		}
+		// The victim keeps its queue slot; the worker that pops it sees
+		// the mark and pauses it instead of running a quantum. Its
+		// runnable slot transfers to the newcomer immediately.
+		victim.shedReq.Store(true)
+		srv.runnable--
+		srv.paused++
+	}
+	srv.runnable++
+	srv.pushLocked(s)
+	srv.runcond.Signal()
 	return nil
 }
 
-// Create opens a session: takes a machine from the pool, loads prog, and
-// prepares a debugger with the given options. The session starts idle;
-// declare watchpoints and breakpoints, then Continue.
+// shedVictimLocked picks the queued session with the lowest priority
+// strictly below pri, skipping sessions already marked. Caller holds
+// srv.mu.
+func (srv *Server) shedVictimLocked(pri int) *Session {
+	var victim *Session
+	for _, c := range srv.runq[srv.runqHead:] {
+		if c.shedReq.Load() {
+			continue
+		}
+		if c.priority < pri && (victim == nil || c.priority < victim.priority) {
+			victim = c
+		}
+	}
+	return victim
+}
+
+// Create opens a session on the server's default machine configuration:
+// takes a machine from the pool, loads prog, and prepares a debugger with
+// the given options. The session starts idle; declare watchpoints and
+// breakpoints, then Continue.
 func (srv *Server) Create(prog *asm.Program, opts debug.Options) (*Session, error) {
+	return srv.CreateWith(prog, opts, SessionConfig{})
+}
+
+// CreateWith is Create with per-session parameters: a machine
+// configuration of the session's own and a load-shedding priority.
+func (srv *Server) CreateWith(prog *asm.Program, opts debug.Options, sc SessionConfig) (*Session, error) {
 	if prog == nil {
 		return nil, fmt.Errorf("serve: nil program")
 	}
+	zero := machine.Config{}
+	if sc.Machine == zero {
+		sc.Machine = srv.cfg.Machine
+		if sc.Preset == "" {
+			// Inherit the default machine's name too, so create/attach
+			// echo which configuration the session actually runs on.
+			sc.Preset = srv.cfg.Preset
+		}
+	}
 	// Cheap early-outs; the authoritative checks repeat at insertion so
-	// concurrent Creates cannot slip past the session cap together (the
-	// run queue's cannot-block invariant is capacity >= open sessions).
+	// concurrent Creates cannot slip past the session cap together.
 	srv.mu.Lock()
 	if err := srv.admitLocked(); err != nil {
 		srv.mu.Unlock()
@@ -193,14 +419,14 @@ func (srv *Server) Create(prog *asm.Program, opts debug.Options) (*Session, erro
 	}
 	srv.mu.Unlock()
 
-	m := srv.pool.Get()
+	m := srv.pools.Get(sc.Machine)
 	m.Load(prog)
-	s := newSession(srv, m, prog, opts)
+	s := newSession(srv, m, prog, opts, sc)
 
 	srv.mu.Lock()
 	if err := srv.admitLocked(); err != nil {
 		srv.mu.Unlock()
-		srv.pool.Put(m)
+		srv.pools.Put(m)
 		return nil, err
 	}
 	srv.nextID++
@@ -224,11 +450,16 @@ func (srv *Server) admitLocked() error {
 
 // CreateSource is Create over assembly source text.
 func (srv *Server) CreateSource(src string, opts debug.Options) (*Session, error) {
+	return srv.CreateSourceWith(src, opts, SessionConfig{})
+}
+
+// CreateSourceWith is CreateWith over assembly source text.
+func (srv *Server) CreateSourceWith(src string, opts debug.Options, sc SessionConfig) (*Session, error) {
 	prog, err := asm.Assemble(src)
 	if err != nil {
 		return nil, err
 	}
-	return srv.Create(prog, opts)
+	return srv.CreateWith(prog, opts, sc)
 }
 
 // Attach returns the open session with the given id, for clients
@@ -258,10 +489,31 @@ func (srv *Server) Stats() ServerStats {
 		SessionsCreated: srv.created,
 		SessionsClosed:  srv.dropped,
 		QuantaRun:       srv.quanta,
+		Shed:            srv.shed,
+		Paused:          srv.paused,
+		SlowConsumers:   srv.slow,
+		EventsDropped:   srv.evDropped,
+		Runnable:        srv.runnable,
+		QueueLen:        srv.queuedLocked(),
 	}
 	srv.mu.Unlock()
-	st.Pool = srv.pool.Stats()
+	st.Pool = srv.pools.Stats()
+	st.PoolConfigs = srv.pools.Configs()
 	return st
+}
+
+// noteSlowConsumer counts a dropped subscription.
+func (srv *Server) noteSlowConsumer() {
+	srv.mu.Lock()
+	srv.slow++
+	srv.mu.Unlock()
+}
+
+// noteEventsDropped counts pull-queue events discarded at EventBuffer.
+func (srv *Server) noteEventsDropped(n uint64) {
+	srv.mu.Lock()
+	srv.evDropped += n
+	srv.mu.Unlock()
 }
 
 // dropSession removes a finalized session from the table.
@@ -300,12 +552,12 @@ func (srv *Server) Close() {
 		s.Close()
 	}
 	// Running sessions finalize on their workers; wait for the table to
-	// empty, then stop the workers.
+	// empty, then wake any idle workers so they observe the shutdown.
 	srv.mu.Lock()
 	for len(srv.sessions) > 0 {
 		srv.cond.Wait()
 	}
+	srv.runcond.Broadcast()
 	srv.mu.Unlock()
-	close(srv.runq)
 	srv.wg.Wait()
 }

@@ -176,6 +176,107 @@ func TestMachineResetDropsDebuggerState(t *testing.T) {
 	}
 }
 
+// TestPoolSetRecycledPerKeyEquivalentToFresh extends the recycle
+// contract to the multi-config pool: for each preset, a machine recycled
+// under that key behaves bit-identically to a fresh machine of the same
+// configuration, and keys never hand out each other's machines.
+func TestPoolSetRecycledPerKeyEquivalentToFresh(t *testing.T) {
+	small, ok := machine.PresetConfig("small-cache")
+	if !ok {
+		t.Fatal("no small-cache preset")
+	}
+	for _, cfg := range []machine.Config{machine.DefaultConfig(), small} {
+		want := runDebugWorkload(t, machine.New(cfg))
+
+		ps := NewPoolSet(4)
+		m := ps.Get(cfg)
+		dirty(t, m)
+		ps.Put(m)
+		recycled := ps.Get(cfg)
+		if recycled != m {
+			t.Fatal("pool set built a new machine instead of recycling")
+		}
+		if got := runDebugWorkload(t, recycled); got != want {
+			t.Errorf("recycled machine diverged from fresh:\n got %+v\nwant %+v", got, want)
+		}
+	}
+
+	// Keys are watertight: a parked default machine must not satisfy a
+	// small-cache Get.
+	ps := NewPoolSet(4)
+	def := ps.Get(machine.DefaultConfig())
+	ps.Put(def)
+	if got := ps.Get(small); got == def {
+		t.Fatal("pool set crossed configuration keys")
+	}
+	if ps.Configs() != 1 || ps.Idle() != 1 {
+		t.Errorf("configs=%d idle=%d, want 1/1", ps.Configs(), ps.Idle())
+	}
+
+	// A single-key Pool discards foreign-config machines instead of
+	// stranding its idle budget under a key its Get never reads.
+	pool := NewPool(machine.DefaultConfig(), 1)
+	pool.Put(machine.New(small))
+	if got := pool.Idle(); got != 0 {
+		t.Errorf("foreign machine parked: idle = %d, want 0", got)
+	}
+	if st := pool.Stats(); st.Dropped != 1 {
+		t.Errorf("foreign drop not counted: %+v", st)
+	}
+	pool.Put(machine.New(machine.DefaultConfig()))
+	if got := pool.Idle(); got != 1 {
+		t.Errorf("own-config machine rejected: idle = %d, want 1", got)
+	}
+}
+
+// TestPoolSetConcurrentPerKey hammers Get/Put from many goroutines over
+// several config keys at a tiny shared capacity, so Puts constantly race
+// the cap check and the map resizes (keys are inserted and deleted as
+// lists fill and drain). The reservation counter must not leak: after
+// the storm the set must still accept exactly cap idle machines.
+func TestPoolSetConcurrentPerKey(t *testing.T) {
+	small, _ := machine.PresetConfig("small-cache")
+	nobp, _ := machine.PresetConfig("no-bpred")
+	cfgs := []machine.Config{machine.DefaultConfig(), small, nobp}
+	const cap = 2
+	ps := NewPoolSet(cap)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		cfg := cfgs[g%len(cfgs)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				m := ps.Get(cfg)
+				if m.Cfg != cfg {
+					t.Error("pool set returned a machine of the wrong configuration")
+					return
+				}
+				ps.Put(m)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := ps.Idle(); got > cap {
+		t.Errorf("idle = %d beyond capacity %d", got, cap)
+	}
+	st := ps.Stats()
+	if st.Created == 0 || st.Recycled == 0 {
+		t.Errorf("stress exercised nothing: %+v", st)
+	}
+	// A leaked reservation would permanently shrink the effective cap:
+	// with the storm over, parking cap+1 fresh machines must fill every
+	// idle slot exactly.
+	for i := 0; i < cap+1; i++ {
+		ps.Put(machine.New(cfgs[i%len(cfgs)]))
+	}
+	if got := ps.Idle(); got != cap {
+		t.Errorf("idle after refill = %d, want %d (reservation leak?)", got, cap)
+	}
+}
+
 func newTestServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
 	srv := New(cfg)
@@ -412,6 +513,120 @@ func TestServeSoak(t *testing.T) {
 	}
 }
 
+// TestServeSoakMixedPush is the CI race soak's heterogeneous variant: 64
+// sessions spread over four machine presets, countdown sessions carrying
+// push subscribers that assert event order, spinners closed after a
+// bounded budget — recycling, push, and scheduling all racing.
+func TestServeSoakMixedPush(t *testing.T) {
+	presets := []string{"default", "small-cache", "big-l2", "no-bpred"}
+	srv := newTestServer(t, Config{Workers: 4, Quantum: 500, MaxSessions: 128})
+	const n = 64
+	sessions := make([]*Session, n)
+	pushed := make([]chan []Event, n)
+	for i := range sessions {
+		mcfg, ok := machine.PresetConfig(presets[i%len(presets)])
+		if !ok {
+			t.Fatal("bad preset")
+		}
+		sc := SessionConfig{Machine: mcfg, Preset: presets[i%len(presets)]}
+		var (
+			s   *Session
+			err error
+		)
+		if i%2 == 0 {
+			s, err = srv.CreateSourceWith(countdownProg, debug.DefaultOptions(debug.BackendDise), sc)
+			if err == nil {
+				v := s.Program().MustSymbol("v")
+				err = s.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: v, Size: 8})
+			}
+		} else {
+			s, err = srv.CreateSourceWith(spinProg, debug.DefaultOptions(debug.BackendDise), sc)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+		if i%2 == 0 {
+			sub := s.Subscribe(64, nil)
+			ch := make(chan []Event, 1)
+			pushed[i] = ch
+			go func() {
+				var got []Event
+				for ev := range sub.Events() {
+					got = append(got, ev)
+				}
+				ch <- got
+			}()
+		}
+		budget := uint64(0)
+		if i%2 == 1 {
+			budget = 10_000
+		}
+		if err := s.Continue(budget); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range sessions {
+		if i%2 == 0 {
+			for s.Wait() == StateIdle {
+				if err := s.Continue(0); err != nil {
+					t.Fatalf("session %d: %v", i, err)
+				}
+			}
+			if st := s.Wait(); st != StateHalted {
+				t.Errorf("session %d ended %v", i, st)
+			}
+		} else {
+			if st := s.Wait(); st != StateIdle {
+				t.Errorf("spinner %d ended %v", i, st)
+			}
+		}
+		s.Close()
+	}
+	for i, ch := range pushed {
+		if ch == nil {
+			continue
+		}
+		got := <-ch
+		if len(got) != 11 {
+			t.Fatalf("session %d pushed %d events, want 11", i, len(got))
+		}
+		for j := 0; j < 10; j++ {
+			if got[j].Kind != EventWatch || got[j].Value != uint64(10-j) {
+				t.Fatalf("session %d event %d = %+v (push order broken)", i, j, got[j])
+			}
+		}
+		if got[10].Kind != EventHalt {
+			t.Errorf("session %d final pushed event = %+v", i, got[10])
+		}
+	}
+	st := srv.Stats()
+	if st.SlowConsumers != 0 {
+		t.Errorf("slow consumers = %d, want 0", st.SlowConsumers)
+	}
+	if st.PoolConfigs != len(presets) {
+		t.Errorf("pool configs = %d, want %d", st.PoolConfigs, len(presets))
+	}
+	// A second mixed wave must run on recycled machines of each config.
+	reusedBefore := st.Pool.Reused
+	for _, preset := range presets {
+		mcfg, _ := machine.PresetConfig(preset)
+		s, err := srv.CreateSourceWith(countdownProg, debug.DefaultOptions(debug.BackendDise),
+			SessionConfig{Machine: mcfg, Preset: preset})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Continue(0); err != nil {
+			t.Fatal(err)
+		}
+		s.Wait()
+		s.Close()
+	}
+	if got := srv.Stats().Pool.Reused - reusedBefore; got < uint64(len(presets)) {
+		t.Errorf("second wave reused %d machines, want >= %d", got, len(presets))
+	}
+}
+
 func TestServerCloseReclaimsRunningSessions(t *testing.T) {
 	srv := New(Config{Workers: 2, Quantum: 500})
 	var open []*Session
@@ -459,6 +674,346 @@ func TestWaitTimeout(t *testing.T) {
 	s.Close()
 	if st, ok := s.WaitTimeout(30 * time.Second); !ok || st != StateClosed {
 		t.Errorf("timed wait across close = (%v,%v), want (closed,true)", st, ok)
+	}
+}
+
+// TestSessionMachineConfigs: one server hosts sessions on different
+// machine presets, and their machines recycle under separate pool keys.
+func TestSessionMachineConfigs(t *testing.T) {
+	small, _ := machine.PresetConfig("small-cache")
+	srv := newTestServer(t, Config{Workers: 2, Quantum: 1000})
+
+	sd, err := srv.CreateSource(countdownProg, debug.DefaultOptions(debug.BackendDise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := srv.CreateSourceWith(countdownProg, debug.DefaultOptions(debug.BackendDise),
+		SessionConfig{Machine: small, Preset: "small-cache", Priority: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg, preset := ss.MachineConfig(); cfg != small || preset != "small-cache" {
+		t.Errorf("session machine config = (%v, %q)", cfg.Cache.L1I.SizeBytes, preset)
+	}
+	if ss.Priority() != 2 {
+		t.Errorf("priority = %d, want 2", ss.Priority())
+	}
+	for _, s := range []*Session{sd, ss} {
+		if err := s.Continue(0); err != nil {
+			t.Fatal(err)
+		}
+		if st := s.Wait(); st != StateHalted {
+			t.Fatalf("state = %v", st)
+		}
+		s.Close()
+	}
+	st := srv.Stats()
+	if st.PoolConfigs != 2 {
+		t.Errorf("pool configs = %d, want 2 (per-config recycling)", st.PoolConfigs)
+	}
+}
+
+// TestLoadSheddingReject: with ShedRejectNew, admissions beyond
+// QueueDepth fail with ErrOverloaded and succeed again once load drains.
+func TestLoadSheddingReject(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, Quantum: 1000, QueueDepth: 2})
+	var sessions []*Session
+	for i := 0; i < 3; i++ {
+		s, err := srv.CreateSource(spinProg, debug.DefaultOptions(debug.BackendDise))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	if err := sessions[0].Continue(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sessions[1].Continue(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sessions[2].Continue(0); err != ErrOverloaded {
+		t.Fatalf("third continue = %v, want ErrOverloaded", err)
+	}
+	if st := sessions[2].State(); st != StateIdle {
+		t.Fatalf("shed session state = %v, want idle", st)
+	}
+	if st := srv.Stats(); st.Shed != 1 || st.Runnable != 2 {
+		t.Errorf("stats after shed = %+v", st)
+	}
+	// Draining one session frees a slot: recovery is a plain retry.
+	sessions[0].Close()
+	if st := sessions[0].Wait(); st != StateClosed {
+		t.Fatalf("close ended in %v", st)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		err := sessions[2].Continue(10)
+		if err == nil {
+			break
+		}
+		if err != ErrOverloaded {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shed session never recovered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sessions[2].Wait()
+}
+
+// TestLoadSheddingPauseLowest: with ShedPauseLowest a high-priority
+// continue pauses the lowest-priority queued session, which receives an
+// EventShed and resumes later with a plain Continue.
+func TestLoadSheddingPauseLowest(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, Quantum: 200_000, QueueDepth: 2, Shed: ShedPauseLowest})
+	mk := func(pri int) *Session {
+		t.Helper()
+		s, err := srv.CreateSourceWith(spinProg, debug.DefaultOptions(debug.BackendDise),
+			SessionConfig{Priority: pri})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1, s2, s3 := mk(3), mk(1), mk(5)
+	if err := s1.Continue(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Continue(0); err != nil {
+		t.Fatal(err)
+	}
+	// s2 has the lowest priority of the two runnable sessions, so the
+	// high-priority s3 displaces it (whether s1 is queued or on the
+	// worker, s2 ranks below both s1 and s3).
+	if err := s3.Continue(0); err != nil {
+		t.Fatalf("high-priority continue = %v, want shed-and-admit", err)
+	}
+	if st := s2.Wait(); st != StateIdle {
+		t.Fatalf("victim state = %v, want idle", st)
+	}
+	evs := s2.Events()
+	found := false
+	for _, ev := range evs {
+		if ev.Kind == EventShed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("victim events = %+v, want an EventShed", evs)
+	}
+	if st := srv.Stats(); st.Paused != 1 || st.Runnable != 2 {
+		t.Errorf("stats after pause-shed = %+v", st)
+	}
+	// An equal-priority newcomer must not displace anyone: strictly lower
+	// only.
+	if err := s2.Continue(0); err != ErrOverloaded {
+		t.Fatalf("victim's eager retry = %v, want ErrOverloaded", err)
+	}
+	// Fair recovery: once the high-priority sessions drain, the victim's
+	// plain Continue succeeds.
+	s1.Close()
+	s3.Close()
+	s1.Wait()
+	s3.Wait()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		err := s2.Continue(10)
+		if err == nil {
+			break
+		}
+		if err != ErrOverloaded || time.Now().After(deadline) {
+			t.Fatalf("victim never recovered: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s2.Wait(); st != StateIdle {
+		t.Fatalf("victim after recovery = %v", st)
+	}
+}
+
+// TestShedSoak drives the server well past saturation and asserts the
+// run queue stays bounded at QueueDepth while every session still
+// completes its budget — overload costs retries, not correctness.
+func TestShedSoak(t *testing.T) {
+	const (
+		depth  = 4
+		n      = 24
+		budget = 20_000
+	)
+	srv := newTestServer(t, Config{Workers: 2, Quantum: 2000, QueueDepth: depth})
+	sessions := make([]*Session, n)
+	for i := range sessions {
+		s, err := srv.CreateSource(spinProg, debug.DefaultOptions(debug.BackendDise))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	pending := make(map[int]bool, n)
+	for i := range sessions {
+		pending[i] = true
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for len(pending) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d sessions never admitted", len(pending))
+		}
+		for i := range pending {
+			switch err := sessions[i].Continue(budget); err {
+			case nil:
+				delete(pending, i)
+			case ErrOverloaded:
+				// Saturated: retry on the next sweep.
+			default:
+				t.Fatal(err)
+			}
+		}
+		if st := srv.Stats(); st.Runnable > depth || st.QueueLen > depth {
+			t.Fatalf("queue exceeded depth: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, s := range sessions {
+		if st := s.Wait(); st != StateIdle {
+			t.Fatalf("session %d ended %v", i, st)
+		}
+		st, _ := s.Stats()
+		if st.AppInsts != budget {
+			t.Errorf("session %d ran %d insts, want %d", i, st.AppInsts, budget)
+		}
+		s.Close()
+	}
+	if st := srv.Stats(); st.Shed == 0 {
+		t.Errorf("soak never saturated: %+v", st)
+	}
+}
+
+// TestSubscribePush: a subscription delivers events in execution order,
+// independent of the pull queue, and closes with the session.
+func TestSubscribePush(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 2, Quantum: 500})
+	s, err := srv.CreateSource(countdownProg, debug.DefaultOptions(debug.BackendDise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.Program().MustSymbol("v")
+	if err := s.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: v, Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	sub := s.Subscribe(64, nil)
+	done := make(chan []Event, 1)
+	go func() {
+		var got []Event
+		for ev := range sub.Events() {
+			got = append(got, ev)
+		}
+		done <- got
+	}()
+	for s.Wait() != StateHalted {
+		if err := s.Continue(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	got := <-done
+	if sub.Dropped() {
+		t.Error("subscription dropped despite ample buffer")
+	}
+	// 10 watch events (values 10..1) then the halt, in execution order.
+	if len(got) != 11 {
+		t.Fatalf("pushed %d events, want 11: %+v", len(got), got)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i].Kind != EventWatch || got[i].Value != uint64(10-i) {
+			t.Fatalf("event %d = %+v, want watch value %d", i, got[i], 10-i)
+		}
+	}
+	if got[10].Kind != EventHalt {
+		t.Fatalf("last event = %+v, want halt", got[10])
+	}
+	// The pull queue saw the same events: a subscription is a tee, not a
+	// drain (nothing called Events during the run, so all 11 remain).
+	if evs := s.Events(); len(evs) != 11 {
+		t.Errorf("pull queue has %d events, want 11", len(evs))
+	}
+}
+
+// TestSubscribeSlowConsumer: a subscriber that never drains is severed
+// with Dropped set, its onDrop hook fires, and the session itself is
+// unharmed.
+func TestSubscribeSlowConsumer(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, Quantum: 500})
+	s, err := srv.CreateSource(countdownProg, debug.DefaultOptions(debug.BackendDise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.Program().MustSymbol("v")
+	if err := s.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: v, Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	dropped := make(chan struct{})
+	sub := s.Subscribe(2, func() { close(dropped) }) // room for 2 of the 11 events
+	for s.Wait() != StateHalted {
+		if err := s.Continue(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-dropped:
+	case <-time.After(30 * time.Second):
+		t.Fatal("onDrop never fired")
+	}
+	if !sub.Dropped() {
+		t.Error("subscription not marked dropped")
+	}
+	if st := srv.Stats(); st.SlowConsumers != 1 {
+		t.Errorf("slow consumers = %d, want 1", st.SlowConsumers)
+	}
+	// The channel closed after the overflow; the two buffered events are
+	// still deliverable, in order.
+	var got []Event
+	for ev := range sub.Events() {
+		got = append(got, ev)
+	}
+	if len(got) != 2 || got[0].Value != 10 || got[1].Value != 9 {
+		t.Errorf("buffered events = %+v", got)
+	}
+	// The session itself is unharmed: its queue has everything.
+	if evs := s.Events(); len(evs) != 11 {
+		t.Errorf("session queue has %d events, want 11", len(evs))
+	}
+	s.Close()
+}
+
+// TestEventQueueBounded: an undrained pull queue is capped at
+// Config.EventBuffer — the oldest events go, the drops are counted, and
+// the tail (ending in the halt) survives.
+func TestEventQueueBounded(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, Quantum: 500, EventBuffer: 8})
+	s, err := srv.CreateSource(countdown30Prog, debug.DefaultOptions(debug.BackendDise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.Program().MustSymbol("v")
+	if err := s.Watch(&debug.Watchpoint{Name: "v", Kind: debug.WatchScalar, Addr: v, Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// Run to halt without ever draining: 31 events hit an 8-deep queue.
+	for s.Wait() != StateHalted {
+		if err := s.Continue(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := s.Events()
+	if len(evs) > 8 {
+		t.Fatalf("queue grew to %d events past the 8 bound", len(evs))
+	}
+	if len(evs) == 0 || evs[len(evs)-1].Kind != EventHalt {
+		t.Fatalf("tail not preserved: %+v", evs)
+	}
+	if st := srv.Stats(); st.EventsDropped == 0 {
+		t.Errorf("no drops counted: %+v", st)
 	}
 }
 

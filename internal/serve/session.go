@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/asm"
@@ -53,6 +54,7 @@ const (
 	EventTrap  EventKind = "trap"  // another user transition (e.g. raw trap)
 	EventHalt  EventKind = "halt"  // the program executed halt
 	EventStop  EventKind = "stop"  // the instruction budget was exhausted
+	EventShed  EventKind = "shed"  // paused by load shedding; Continue resumes
 	EventError EventKind = "error" // the run failed (e.g. uop safety cap)
 )
 
@@ -76,6 +78,16 @@ type Session struct {
 
 	srv *Server
 
+	// shedReq marks the session as a load-shedding pause victim while it
+	// waits on the run queue; the worker that pops it consumes the mark
+	// and pauses the session instead of running a quantum. Written under
+	// srv.mu, consumed lock-free on the worker, hence atomic.
+	shedReq atomic.Bool
+
+	// priority and sc are fixed at creation and read without s.mu.
+	priority int
+	sc       SessionConfig
+
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast whenever state leaves StateRunning
 
@@ -89,6 +101,7 @@ type Session struct {
 	closeReq  bool   // finalize at the next quantum boundary
 
 	events []Event
+	subs   []*Subscription
 	stats  pipeline.Stats
 	trans  debug.TransitionStats
 	err    error
@@ -96,20 +109,27 @@ type Session struct {
 
 // newSession wires a session around a loaded machine; the caller assigns
 // ID when it publishes the session into the server's table.
-func newSession(srv *Server, m *machine.Machine, prog *asm.Program, opts debug.Options) *Session {
-	s := &Session{srv: srv, m: m, prog: prog}
+func newSession(srv *Server, m *machine.Machine, prog *asm.Program, opts debug.Options, sc SessionConfig) *Session {
+	s := &Session{srv: srv, m: m, prog: prog, sc: sc, priority: sc.Priority}
 	s.cond = sync.NewCond(&s.mu)
 	s.d = debug.New(m, opts)
 	s.d.OnUser = func(ev debug.UserEvent) {
 		// Runs on the worker goroutine, inside m.Run, with s.mu free.
 		s.mu.Lock()
-		s.events = append(s.events, fromUserEvent(ev))
+		s.appendEventLocked(fromUserEvent(ev))
 		s.hitUser = true
 		s.mu.Unlock()
 		m.Core.RequestStop()
 	}
 	return s
 }
+
+// Priority returns the session's load-shedding priority.
+func (s *Session) Priority() int { return s.priority }
+
+// MachineConfig returns the session's machine configuration and the
+// preset name it was resolved from, if any.
+func (s *Session) MachineConfig() (machine.Config, string) { return s.sc.Machine, s.sc.Preset }
 
 func fromUserEvent(ev debug.UserEvent) Event {
 	switch {
@@ -254,6 +274,127 @@ func (s *Session) Events() []Event {
 	return out
 }
 
+// Subscription streams a session's events as they are appended, in
+// execution order, independent of the pull-style Events queue (a
+// subscription is a tee, not a drain). The channel is closed when the
+// session closes, the subscription is canceled, or the subscriber falls
+// more than its buffer depth behind — the slow-consumer case, reported by
+// Dropped and by the optional onDrop callback.
+type Subscription struct {
+	s  *Session
+	ch chan Event
+
+	// guarded by s.mu
+	done    bool
+	dropped bool
+	onDrop  func()
+}
+
+// maxSubscribeDepth caps a subscription's buffer. The depth reaches
+// Subscribe straight from the wire protocol, so it must be clamped
+// before the allocation: a huge requested depth would otherwise allocate
+// gigabytes or panic in make(chan), killing the whole server.
+const maxSubscribeDepth = 1 << 16
+
+// Subscribe registers a push subscriber with the given buffer depth
+// (<= 0 selects the server's Config.PushBuffer; clamped to
+// maxSubscribeDepth). onDrop, if non-nil, is invoked from a fresh
+// goroutine if the subscriber is dropped for falling behind. Subscribing
+// to a closed session returns an already-closed subscription.
+func (s *Session) Subscribe(depth int, onDrop func()) *Subscription {
+	if depth <= 0 {
+		depth = s.srv.cfg.PushBuffer
+	}
+	if depth > maxSubscribeDepth {
+		depth = maxSubscribeDepth
+	}
+	sub := &Subscription{s: s, ch: make(chan Event, depth), onDrop: onDrop}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateClosed {
+		sub.done = true
+		close(sub.ch)
+		return sub
+	}
+	s.subs = append(s.subs, sub)
+	return sub
+}
+
+// Events returns the subscription's channel. It delivers events appended
+// after Subscribe and is closed on session close, Cancel, or overflow.
+func (sub *Subscription) Events() <-chan Event { return sub.ch }
+
+// Dropped reports whether the subscription was severed for falling
+// behind (meaningful once the channel is closed).
+func (sub *Subscription) Dropped() bool {
+	sub.s.mu.Lock()
+	defer sub.s.mu.Unlock()
+	return sub.dropped
+}
+
+// Cancel removes the subscription and closes its channel.
+func (sub *Subscription) Cancel() {
+	sub.s.mu.Lock()
+	defer sub.s.mu.Unlock()
+	sub.closeLocked()
+	sub.s.removeSubLocked(sub)
+}
+
+// closeLocked closes the channel once. Caller holds s.mu.
+func (sub *Subscription) closeLocked() {
+	if !sub.done {
+		sub.done = true
+		close(sub.ch)
+	}
+}
+
+// removeSubLocked unlinks sub from the subscriber list. Caller holds
+// s.mu.
+func (s *Session) removeSubLocked(sub *Subscription) {
+	for i, x := range s.subs {
+		if x == sub {
+			s.subs[i] = s.subs[len(s.subs)-1]
+			s.subs[len(s.subs)-1] = nil
+			s.subs = s.subs[:len(s.subs)-1]
+			return
+		}
+	}
+}
+
+// appendEventLocked queues ev and tees it to every subscriber. A
+// subscriber whose buffer is full is severed on the spot — the push path
+// runs on the scheduler workers and must never block on a slow client.
+// Caller holds s.mu; channel sends and closes both happen under it, in
+// append order, so subscribers observe events in execution order.
+func (s *Session) appendEventLocked(ev Event) {
+	if len(s.events) >= s.srv.cfg.EventBuffer {
+		// The pull queue is full — a push-only or non-polling client.
+		// Discard the oldest half in one move (amortized O(1) per append)
+		// so the recent events, ending in the eventual halt, survive.
+		half := (len(s.events) + 1) / 2
+		n := copy(s.events, s.events[half:])
+		s.events = s.events[:n]
+		s.srv.noteEventsDropped(uint64(half))
+	}
+	s.events = append(s.events, ev)
+	for i := 0; i < len(s.subs); {
+		sub := s.subs[i]
+		select {
+		case sub.ch <- ev:
+			i++
+			continue
+		default:
+		}
+		sub.dropped = true
+		sub.closeLocked()
+		s.removeSubLocked(sub) // swaps the tail into position i
+		s.srv.noteSlowConsumer()
+		if sub.onDrop != nil {
+			go sub.onDrop()
+		}
+	}
+}
+
 // Stats returns the latest execution statistics snapshot. While the
 // session runs, the snapshot trails live state by at most one quantum.
 func (s *Session) Stats() (pipeline.Stats, debug.TransitionStats) {
@@ -299,8 +440,30 @@ func (s *Session) finalizeLocked() {
 	s.state = StateClosed
 	m := s.m
 	s.m, s.d = nil, nil
+	for _, sub := range s.subs {
+		sub.closeLocked()
+	}
+	s.subs = nil
 	s.srv.dropSession(s.ID)
-	s.srv.pool.Put(m)
+	s.srv.pools.Put(m)
+	s.cond.Broadcast()
+}
+
+// pauseShed stops a load-shedding victim at its queue slot: the session
+// pauses as if its budget ran out, with an EventShed marking why, and a
+// plain Continue resumes it later. Runs on the worker that popped the
+// session, which owns its machine.
+func (s *Session) pauseShed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateRunning {
+		s.state = StateIdle
+		s.appendEventLocked(Event{Kind: EventShed, PC: s.m.Core.PC()})
+	}
+	if s.closeReq {
+		s.finalizeLocked()
+		return
+	}
 	s.cond.Broadcast()
 }
 
@@ -335,16 +498,16 @@ func (s *Session) runQuantum(quantum uint64) bool {
 	switch {
 	case err != nil:
 		s.err = err
-		s.events = append(s.events, Event{Kind: EventError, PC: m.Core.PC(), Err: err.Error()})
+		s.appendEventLocked(Event{Kind: EventError, PC: m.Core.PC(), Err: err.Error()})
 		s.state = StateHalted
 	case m.Core.Halted():
 		s.state = StateHalted
-		s.events = append(s.events, Event{Kind: EventHalt, PC: s.stats.HaltPC})
+		s.appendEventLocked(Event{Kind: EventHalt, PC: s.stats.HaltPC})
 	case s.hitUser:
 		s.state = StateIdle // paused at a user transition; events queued
 	case s.target > 0 && s.stats.AppInsts >= s.target:
 		s.state = StateIdle
-		s.events = append(s.events, Event{Kind: EventStop, PC: m.Core.PC()})
+		s.appendEventLocked(Event{Kind: EventStop, PC: m.Core.PC()})
 	default:
 		if s.closeReq {
 			s.finalizeLocked()
