@@ -184,12 +184,15 @@ func RunAllExperiments(cfg ExperimentConfig) []*ResultTable {
 // cmd/disesrv).
 type (
 	// Server multiplexes debug sessions over pooled machines.
+	// Server.SetPriority migrates a session between shed priorities at
+	// runtime (the wire protocol's rerank op) without close/recreate.
 	Server = serve.Server
 	// ServeConfig sizes a Server (workers, quantum, session cap, queue
 	// depth, shedding policy, push buffers).
 	ServeConfig = serve.Config
 	// ServeSessionConfig carries per-session creation parameters
-	// (machine configuration, preset name, shedding priority).
+	// (machine configuration, preset name, initial shedding priority —
+	// re-rankable later via Server.SetPriority).
 	ServeSessionConfig = serve.SessionConfig
 	// ServeSession is one session in a Server.
 	ServeSession = serve.Session

@@ -1,0 +1,62 @@
+package cache
+
+import "testing"
+
+// xorshift is the benchmarks' deterministic address-stream generator; it
+// costs a few ALU ops per step, so the measured time is dominated by the
+// cache/hierarchy code under test.
+func xorshift(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+// BenchmarkCacheAccess exercises the fused tag-scan/LRU pass over a
+// default-L1D-shaped cache with a skewed trace: mostly hits in a hot
+// working set, with enough set churn and cold misses to keep the victim
+// path honest. This is the Cache.Access microcosm of the simulator's
+// profile leader; scripts/bench_smoke.sh reports it informationally.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 2, HitLatency: 3})
+	x := uint64(0x9E3779B97F4A7C15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = xorshift(x)
+		var addr uint64
+		switch x % 8 {
+		case 0, 1, 2, 3, 4:
+			addr = (x % 64) * 64 // hot lines: tag-scan hits
+		case 5, 6:
+			addr = (x % 1024) * 64 // set churn: LRU decisions
+		default:
+			addr = x % (1 << 26) // cold: allocate + victim
+		}
+		c.Access(addr, x&1 == 0)
+	}
+}
+
+// BenchmarkHierarchyDataLatency drives the unified miss engine end to
+// end — TLB, L1D, demand-first L2 probe, full victim inclusion, and bus
+// accounting — with a mixed locality trace.
+func BenchmarkHierarchyDataLatency(b *testing.B) {
+	h := NewHierarchy(DefaultConfig())
+	x := uint64(0x9E3779B97F4A7C15)
+	now := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = xorshift(x)
+		var addr uint64
+		switch x % 8 {
+		case 0, 1, 2, 3, 4:
+			addr = (x % 512) * 8 // hot working set: L1 hits
+		case 5, 6:
+			addr = (x % (1 << 14)) * 64 // L1 misses, mostly L2 hits
+		default:
+			addr = x % (1 << 28) // cold fills with TLB walks
+		}
+		now += h.DataLatency(addr, x&7 == 0, now)
+	}
+}

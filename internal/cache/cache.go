@@ -39,16 +39,26 @@ func (s Stats) MissRate() float64 {
 
 type line struct {
 	tag   uint64
+	lru   uint64 // larger = more recently used; valid lines are >= 1
 	valid bool
 	dirty bool
-	lru   uint64 // larger = more recently used
 }
 
 // Cache is a set-associative, write-back, write-allocate cache.
+//
+// Lines are stored flat — way w of set s lives at lines[s*assoc+w] — so
+// one allocation backs the whole cache and an access touches a single
+// contiguous slice of ways. Set index and tag come from precomputed
+// shifts/masks (no division on the access path), and recency is a
+// monotonic clock stamped per access: valid lines always carry lru >= 1,
+// which lets the victim scan treat 0 as "invalid way here" and fuse the
+// tag match and victim selection into one pass.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	lines    []line
+	assoc    int
 	setShift uint
+	tagShift uint
 	setMask  uint64
 	lruClock uint64
 	stats    Stats
@@ -61,19 +71,20 @@ func New(cfg Config) *Cache {
 	if nSets <= 0 || nSets&(nSets-1) != 0 {
 		panic("cache: set count must be a positive power of two")
 	}
-	sets := make([][]line, nSets)
-	backing := make([]line, nLines)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
-	}
 	shift := uint(0)
 	for 1<<shift < cfg.LineBytes {
 		shift++
 	}
+	setBits := uint(0)
+	for 1<<setBits < nSets {
+		setBits++
+	}
 	return &Cache{
 		cfg:      cfg,
-		sets:     sets,
+		lines:    make([]line, nLines),
+		assoc:    cfg.Assoc,
 		setShift: shift,
+		tagShift: shift + setBits,
 		setMask:  uint64(nSets - 1),
 	}
 }
@@ -118,86 +129,118 @@ func (c *Cache) Writeback(addr uint64) AccessResult {
 }
 
 // WritebackClean installs a clean line evicted from an upper-level cache
-// (I-side victim inclusion). Like Writeback it is accounted as a
-// writeback fill, not a demand access, but the installed line stays
-// clean: instruction lines are never modified, so they must not later
-// drain to memory as spurious writeback traffic.
+// (victim inclusion). Like Writeback it is accounted as a writeback
+// fill, not a demand access, but the installed line stays clean: the
+// upper level never modified it, so it must not later drain to memory as
+// spurious writeback traffic.
 func (c *Cache) WritebackClean(addr uint64) AccessResult {
 	c.stats.WritebackFills++
 	return c.access(addr, false, false)
 }
 
 // access is the shared probe/allocate path; demand selects whether a miss
-// counts in the demand statistics.
+// counts in the demand statistics. One fused pass over the set's ways
+// answers both questions an access asks — "is the tag here?" and "which
+// way would I evict?" — so a miss pays no second scan.
 func (c *Cache) access(addr uint64, write, demand bool) AccessResult {
+	if c.lruClock == ^uint64(0) {
+		// The clock saturated (2^64 accesses — unreachable in practice but
+		// cheap to be correct about): compact recency once instead of
+		// renormalizing per access.
+		c.renormalize()
+	}
 	c.lruClock++
-	set := c.sets[(addr>>c.setShift)&c.setMask]
-	tag := (addr >> c.setShift) / (c.setMask + 1)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lru = c.lruClock
+	base := int((addr>>c.setShift)&c.setMask) * c.assoc
+	tag := addr >> c.tagShift
+	ways := c.lines[base : base+c.assoc]
+	// Victim selection needs no validity branch: invalid ways always
+	// carry lru == 0 while valid lines are stamped >= 1, so the min-lru
+	// scan prefers the first invalid way all by itself.
+	victim, victimLRU := 0, ^uint64(0)
+	for i := range ways {
+		w := &ways[i]
+		if w.valid && w.tag == tag {
+			w.lru = c.lruClock
 			if write {
-				set[i].dirty = true
+				w.dirty = true
 			}
 			return AccessResult{Hit: true}
 		}
+		if w.lru < victimLRU {
+			victim, victimLRU = i, w.lru
+		}
 	}
-	// Miss: pick victim (invalid first, else least recently used).
 	if demand {
 		c.stats.Misses++
 	}
-	victim := 0
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-		if set[i].lru < set[victim].lru {
-			victim = i
-		}
-	}
 	res := AccessResult{}
-	if set[victim].valid {
+	v := &ways[victim]
+	if v.valid {
 		res.VictimValid = true
-		res.VictimAddr = c.victimAddr(addr, set[victim].tag)
-		if set[victim].dirty {
+		res.VictimAddr = v.tag<<c.tagShift | uint64(base/c.assoc)<<c.setShift
+		if v.dirty {
 			res.WritebackReq = true
 			c.stats.Writebacks++
 		}
 	}
-	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.lruClock}
+	*v = line{tag: tag, valid: true, dirty: write, lru: c.lruClock}
 	return res
+}
+
+// renormalize compacts the recency clock. LRU comparisons only ever
+// happen between ways of one set, so each set's valid ways are restamped
+// with their rank (1..assoc) and the clock restarts just above the
+// largest stamp — relative order inside every set is preserved and the
+// clock always collapses, regardless of how stale the oldest line is.
+// Called only when the clock saturates, never per access.
+func (c *Cache) renormalize() {
+	old := make([]uint64, c.assoc)
+	for base := 0; base < len(c.lines); base += c.assoc {
+		ways := c.lines[base : base+c.assoc]
+		for i := range ways {
+			old[i] = ways[i].lru
+		}
+		for i := range ways {
+			if !ways[i].valid {
+				continue
+			}
+			rank := uint64(1)
+			for j := range ways {
+				if j != i && ways[j].valid && (old[j] < old[i] ||
+					(old[j] == old[i] && j < i)) {
+					rank++
+				}
+			}
+			ways[i].lru = rank
+		}
+	}
+	c.lruClock = uint64(c.assoc)
 }
 
 // Probe reports whether addr hits without updating state (used in tests).
 func (c *Cache) Probe(addr uint64) bool {
-	set := c.sets[(addr>>c.setShift)&c.setMask]
-	tag := (addr >> c.setShift) / (c.setMask + 1)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base := int((addr>>c.setShift)&c.setMask) * c.assoc
+	tag := addr >> c.tagShift
+	for _, w := range c.lines[base : base+c.assoc] {
+		if w.valid && w.tag == tag {
 			return true
 		}
 	}
 	return false
 }
 
-func (c *Cache) victimAddr(probeAddr, victimTag uint64) uint64 {
-	setIdx := (probeAddr >> c.setShift) & c.setMask
-	return (victimTag*(c.setMask+1) | setIdx) << c.setShift
-}
-
-// Flush invalidates all lines (contents, not stats).
+// Flush invalidates all lines (contents, not stats). The flattened
+// backing store is zeroed wholesale, including each line's lru stamp, so
+// no stale recency survives into the next fill.
 func (c *Cache) Flush() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = line{}
-		}
-	}
+	clear(c.lines)
 }
 
 // Reset returns the cache to its post-New state: all lines invalid,
 // statistics cleared, and the LRU clock rezeroed so a recycled cache's
-// replacement decisions replay exactly like a fresh one's.
+// replacement decisions replay exactly like a fresh one's (a clock left
+// near saturation would renormalize at a different access than a fresh
+// cache would).
 func (c *Cache) Reset() {
 	c.Flush()
 	c.lruClock = 0

@@ -34,6 +34,27 @@ func DefaultConfig() HierarchyConfig {
 	}
 }
 
+// Side selects which demand port of the hierarchy an access enters
+// through: the instruction side (L1I + ITLB) or the data side (L1D +
+// DTLB). Both sides share the L2, the bus, and — by construction — one
+// miss policy.
+type Side int
+
+// The two demand ports.
+const (
+	SideI Side = iota
+	SideD
+)
+
+// port is one side's first-level structures plus its precomputed L1 hit
+// latency, so the unified miss engine is parameterized by data instead of
+// by code.
+type port struct {
+	l1    *Cache
+	tlb   *TLB
+	l1Lat uint64
+}
+
 // Hierarchy stitches the caches, TLBs, bus, and memory into one timing
 // model. It is not safe for concurrent use.
 type Hierarchy struct {
@@ -41,6 +62,10 @@ type Hierarchy struct {
 
 	L1I, L1D, L2 *Cache
 	ITLB, DTLB   *TLB
+
+	ports      [2]port // indexed by Side
+	l2Lat      uint64
+	tlbPenalty uint64
 
 	busFreeAt uint64
 
@@ -50,14 +75,19 @@ type Hierarchy struct {
 
 // NewHierarchy builds the memory system.
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
-	return &Hierarchy{
-		cfg:  cfg,
-		L1I:  New(cfg.L1I),
-		L1D:  New(cfg.L1D),
-		L2:   New(cfg.L2),
-		ITLB: NewTLB(cfg.TLBEntries, cfg.TLBAssoc, cfg.PageBytes),
-		DTLB: NewTLB(cfg.TLBEntries, cfg.TLBAssoc, cfg.PageBytes),
+	h := &Hierarchy{
+		cfg:        cfg,
+		L1I:        New(cfg.L1I),
+		L1D:        New(cfg.L1D),
+		L2:         New(cfg.L2),
+		ITLB:       NewTLB(cfg.TLBEntries, cfg.TLBAssoc, cfg.PageBytes),
+		DTLB:       NewTLB(cfg.TLBEntries, cfg.TLBAssoc, cfg.PageBytes),
+		l2Lat:      uint64(cfg.L2.HitLatency),
+		tlbPenalty: uint64(cfg.TLBMissPenalty),
 	}
+	h.ports[SideI] = port{l1: h.L1I, tlb: h.ITLB, l1Lat: uint64(cfg.L1I.HitLatency)}
+	h.ports[SideD] = port{l1: h.L1D, tlb: h.DTLB, l1Lat: uint64(cfg.L1D.HitLatency)}
+	return h
 }
 
 // Config returns the hierarchy's configuration.
@@ -88,34 +118,49 @@ func (h *Hierarchy) fill(ready uint64) uint64 {
 	return h.busAcquire(ready+uint64(h.cfg.MemLatency)) - ready
 }
 
-// FetchLatency returns the latency in cycles of an instruction fetch at pc
-// issued at cycle now.
-func (h *Hierarchy) FetchLatency(pc, now uint64) uint64 {
-	lat := uint64(0)
-	if !h.ITLB.Lookup(pc) {
-		lat += uint64(h.cfg.TLBMissPenalty)
+// access is the unified miss engine: every demand access on either side
+// runs the same policy.
+//
+//   - L1 hit: done, at the side's L1 latency (plus a page walk on a TLB
+//     miss — translation happens regardless of where the line is found).
+//   - L1 miss: the L2 demand probe runs first, while any evicted L1 line
+//     sits in a victim buffer. Demand-first ordering matters when victim
+//     and demand share an L2 set: installing the victim first could evict
+//     the very line being fetched, manufacturing the refetch miss victim
+//     inclusion exists to avoid.
+//   - Victim inclusion is full: every valid L1 victim — clean or dirty —
+//     installs into L2 as writeback traffic (never a demand access).
+//     Dirty victims install dirty; clean victims install clean, so a line
+//     the upper level never wrote cannot later drain to memory as
+//     spurious writeback traffic. Either install can evict an L2 dirty
+//     line, whose drain to memory occupies the bus.
+//   - An L2 demand miss drains its own dirty victim over the bus
+//     (buffered — it does not extend the access's latency) and fills from
+//     memory, paying bus occupancy and memory latency.
+//
+// Both sides charge the identical bus accounting; the only asymmetries
+// left are the per-side structures and hit latencies.
+func (h *Hierarchy) access(side Side, addr uint64, write bool, now uint64) uint64 {
+	p := &h.ports[side]
+	lat := p.l1Lat
+	if !p.tlb.Lookup(addr) {
+		lat += h.tlbPenalty
 	}
-	r1 := h.L1I.Access(pc, false)
-	lat += uint64(h.cfg.L1I.HitLatency)
+	r1 := p.l1.Access(addr, write)
 	if r1.Hit {
 		return lat
 	}
-	r2 := h.L2.Access(pc, false)
-	lat += uint64(h.cfg.L2.HitLatency)
+	r2 := h.L2.Access(addr, write)
+	lat += h.l2Lat
 	if r1.VictimValid {
-		// Every evicted L1I line re-enters L2 (victim inclusion), so
-		// refetching recently evicted code hits L2 instead of paying a
-		// full memory round trip. The victim sits in a buffer while the
-		// demand line is looked up and installs only afterwards —
-		// install-first could evict the very line being fetched when the
-		// two share an L2 set, manufacturing the refetch miss this path
-		// exists to avoid. Instruction lines are never dirty, so the
-		// install itself is clean and free of the bus, but it can evict
-		// an L2 dirty line, whose drain to memory must occupy the bus
-		// (like DataLatency's dirty-victim drain; the data side installs
-		// only dirty victims — clean L1D victims are presumed still
-		// L2-resident).
-		if vr := h.L2.WritebackClean(r1.VictimAddr); vr.WritebackReq {
+		// The buffered L1 victim installs after the demand probe.
+		var vr AccessResult
+		if r1.WritebackReq {
+			vr = h.L2.Writeback(r1.VictimAddr)
+		} else {
+			vr = h.L2.WritebackClean(r1.VictimAddr)
+		}
+		if vr.WritebackReq {
 			h.busAcquire(now + lat)
 		}
 	}
@@ -123,41 +168,23 @@ func (h *Hierarchy) FetchLatency(pc, now uint64) uint64 {
 		return lat
 	}
 	if r2.WritebackReq {
-		h.busAcquire(now + lat) // dirty victim occupies the bus, buffered
+		h.busAcquire(now + lat) // dirty L2 victim occupies the bus, buffered
 	}
 	return lat + h.fill(now+lat)
 }
 
+// FetchLatency returns the latency in cycles of an instruction fetch at pc
+// issued at cycle now. It is a thin wrapper over the unified miss engine;
+// instruction fetches never write.
+func (h *Hierarchy) FetchLatency(pc, now uint64) uint64 {
+	return h.access(SideI, pc, false, now)
+}
+
 // DataLatency returns the latency in cycles of a data access at addr
-// issued at cycle now. Stores allocate and dirty the line.
+// issued at cycle now. Stores allocate and dirty the line. It is a thin
+// wrapper over the unified miss engine.
 func (h *Hierarchy) DataLatency(addr uint64, write bool, now uint64) uint64 {
-	lat := uint64(0)
-	if !h.DTLB.Lookup(addr) {
-		lat += uint64(h.cfg.TLBMissPenalty)
-	}
-	r1 := h.L1D.Access(addr, write)
-	lat += uint64(h.cfg.L1D.HitLatency)
-	if r1.Hit {
-		return lat
-	}
-	if r1.WritebackReq {
-		// The L1 dirty victim drains into L2 (no bus) as writeback traffic,
-		// not a demand access. Installing it can itself evict an L2 dirty
-		// line, whose drain to memory must occupy the bus — dropping that
-		// transfer would understate bus contention on writeback-heavy runs.
-		if vr := h.L2.Writeback(r1.VictimAddr); vr.WritebackReq {
-			h.busAcquire(now + lat)
-		}
-	}
-	r2 := h.L2.Access(addr, write)
-	lat += uint64(h.cfg.L2.HitLatency)
-	if r2.Hit {
-		return lat
-	}
-	if r2.WritebackReq {
-		h.busAcquire(now + lat)
-	}
-	return lat + h.fill(now+lat)
+	return h.access(SideD, addr, write, now)
 }
 
 // Reset returns the whole memory system to its post-NewHierarchy state:

@@ -134,3 +134,53 @@ func TestWriteQuad(t *testing.T) {
 		t.Error("round trip failed")
 	}
 }
+
+// TestResetRestoresColdHierarchy pins machine.Reset over the cache
+// hierarchy's flattened line layout: after a warm run, Reset must leave
+// no resident lines, zeroed memory-system statistics, and timing that
+// replays a fresh machine's exactly (same cold latency for the same
+// first access — a stale LRU clock or surviving line would diverge).
+func TestResetRestoresColdHierarchy(t *testing.T) {
+	p, err := asm.Assemble(`
+.data
+x: .quad 7
+.text
+main:
+    la  r1, x
+    li  r2, 200
+loop:
+    ldq r3, 0(r1)
+    stq r3, 0(r1)
+    subq r2, #1, r2
+    bne r2, loop
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewDefault()
+	m.Load(p)
+	m.MustRun(0)
+	addr := p.MustSymbol("x")
+	if !m.Hier.L1D.Probe(addr) {
+		t.Fatal("warm run left x uncached — test lost its teeth")
+	}
+	if ms := m.MemStats(); ms.L1D.Accesses == 0 || ms.L1I.Accesses == 0 {
+		t.Fatalf("no cache traffic recorded: %+v", ms)
+	}
+
+	m.Reset()
+	if m.Hier.L1D.Probe(addr) {
+		t.Error("Reset kept L1D lines")
+	}
+	if ms := m.MemStats(); ms != (MemStats{}) {
+		t.Errorf("Reset kept memory-system stats: %+v", ms)
+	}
+	fresh := NewDefault()
+	if got, want := m.Hier.DataLatency(addr, false, 0), fresh.Hier.DataLatency(addr, false, 0); got != want {
+		t.Errorf("recycled cold latency = %d, fresh = %d", got, want)
+	}
+	if got, want := m.Hier.FetchLatency(addr+64, 100), fresh.Hier.FetchLatency(addr+64, 100); got != want {
+		t.Errorf("recycled cold fetch latency = %d, fresh = %d", got, want)
+	}
+}

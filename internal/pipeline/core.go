@@ -79,6 +79,13 @@ type Core struct {
 	lastFetchLine uint64 // line-granular I$ probing
 	mtCursor      uint64 // fetch cursor of the DISE-function thread context
 
+	// Per-side L1 hit latencies, captured at construction: the fetch and
+	// load hot paths subtract/charge these every instruction, and reading
+	// them through Hier.Config() would copy the whole HierarchyConfig
+	// struct each time.
+	l1iHitLat uint64
+	l1dHitLat uint64
+
 	// pred is the predecoded-text cache serving all instruction fetches;
 	// it invalidates through the memory write hook.
 	pred *predecoder
@@ -131,6 +138,9 @@ func New(cfg Config, m *mem.Memory, hier *cache.Hierarchy, bp *bpred.Predictor, 
 	c.storeQLo, c.storeQHi = ^uint64(0), 0
 	c.expScratch = make([]isa.Inst, 0, 32)
 	c.lastFetchLine = ^uint64(0)
+	hcfg := hier.Config()
+	c.l1iHitLat = uint64(hcfg.L1I.HitLatency)
+	c.l1dHitLat = uint64(hcfg.L1D.HitLatency)
 	c.pred = newPredecoder(m, cfg.PredecodePages)
 	m.AddWriteHook(c.pred.invalidate)
 	return c
@@ -330,9 +340,8 @@ func (c *Core) fetchAt(pc uint64, dpc int, expExtra uint64) uint64 {
 		line := c.Hier.L1I.LineBase(pc)
 		if line != c.lastFetchLine {
 			lat := c.Hier.FetchLatency(pc, earliest)
-			hit := uint64(c.Hier.Config().L1I.HitLatency)
-			if lat > hit {
-				earliest += lat - hit
+			if lat > c.l1iHitLat {
+				earliest += lat - c.l1iHitLat
 			}
 			c.lastFetchLine = line
 		}
@@ -606,7 +615,7 @@ func (c *Core) time(inst *isa.Inst, ev *execResult, fetchAt uint64, inDise, inFu
 			// The store still occupies its queue entry at the load's
 			// actual issue cycle (entries live through their commit
 			// cycle): forward at L1 speed without touching the hierarchy.
-			doneAt = issueAt + uint64(c.Hier.Config().L1D.HitLatency)
+			doneAt = issueAt + c.l1dHitLat
 		} else {
 			// No overlap, a partial overlap past its drain, or port
 			// contention pushed the issue past the store's commit: the

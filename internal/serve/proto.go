@@ -53,8 +53,8 @@ type Request struct {
 	// Seq is echoed verbatim in the response for client-side matching.
 	Seq uint64 `json:"seq,omitempty"`
 	// Op selects the operation: create, attach, list, watch, break,
-	// continue, step, wait, events, subscribe, unsubscribe, stats, read,
-	// close, ping.
+	// continue, step, wait, events, subscribe, unsubscribe, rerank,
+	// stats, read, close, ping.
 	Op string `json:"op"`
 	// Session addresses every op except create, list, ping, and the
 	// server-wide stats form.
@@ -63,6 +63,7 @@ type Request struct {
 	// create: assembly source, back end name (dise|vm|hw|step|rewrite;
 	// default dise), machine preset (default|small-cache|big-l2|no-bpred|
 	// narrow-core; default "default"), and load-shedding priority.
+	// rerank: Priority is the session's new load-shedding rank.
 	Program  string `json:"program,omitempty"`
 	Backend  string `json:"backend,omitempty"`
 	Machine  string `json:"machine,omitempty"`
@@ -136,7 +137,8 @@ type Response struct {
 	Session  uint64       `json:"session,omitempty"`
 	State    string       `json:"state,omitempty"`
 	Entry    uint64       `json:"entry,omitempty"`
-	Machine  string       `json:"machine,omitempty"` // session's machine preset
+	Machine  string       `json:"machine,omitempty"`  // session's machine preset
+	Priority *int         `json:"priority,omitempty"` // rerank: the session's new rank
 	Events   []Event      `json:"events,omitempty"`
 	Stats    *StatsJSON   `json:"stats,omitempty"`
 	Server   *ServerStats `json:"server,omitempty"`
@@ -487,6 +489,14 @@ func (srv *Server) handleErr(c *protoConn, req *Request) (Response, error) {
 			go c.forward(id, cs)
 		}
 		return Response{Session: id, State: s.State().String()}, nil
+	case "rerank":
+		// Runtime shed-priority migration: no close/recreate, the session
+		// keeps its machine, events, and subscriptions.
+		if err := srv.SetPriority(s.ID, req.Priority); err != nil {
+			return Response{}, err
+		}
+		prio := s.Priority()
+		return Response{Session: s.ID, State: s.State().String(), Priority: &prio}, nil
 	case "unsubscribe":
 		if cs := c.takeSub(s.ID); cs != nil {
 			// Buffered frames flush before the ack; none follow it.

@@ -86,6 +86,35 @@ func (c *protoClient) ok(req Request) Response {
 	return resp
 }
 
+// TestProtocolRerank: the rerank op migrates a session's shed priority
+// at runtime (no close/recreate) and echoes the new rank.
+func TestProtocolRerank(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, Quantum: 500})
+	c := newProtoClient(t, srv)
+
+	created := c.ok(Request{Op: "create", Program: countdownProg, Priority: 2})
+	id := created.Session
+	s, attached := srv.Attach(id)
+	if !attached {
+		t.Fatalf("no session %d", id)
+	}
+	if got := s.Priority(); got != 2 {
+		t.Fatalf("created priority = %d, want 2", got)
+	}
+
+	resp := c.ok(Request{Op: "rerank", Session: id, Priority: 7})
+	if resp.Priority == nil || *resp.Priority != 7 {
+		t.Errorf("rerank echo = %v, want 7", resp.Priority)
+	}
+	if got := s.Priority(); got != 7 {
+		t.Errorf("priority after rerank = %d, want 7", got)
+	}
+
+	if fail := c.call(Request{Op: "rerank", Session: 999, Priority: 1}); fail.OK {
+		t.Error("rerank of unknown session succeeded")
+	}
+}
+
 func TestProtocolSession(t *testing.T) {
 	srv := newTestServer(t, Config{Workers: 2, Quantum: 1000})
 	c := newProtoClient(t, srv)

@@ -352,7 +352,7 @@ func (srv *Server) enqueue(s *Session) error {
 	if srv.runnable >= srv.cfg.QueueDepth {
 		victim := (*Session)(nil)
 		if srv.cfg.Shed == ShedPauseLowest {
-			victim = srv.shedVictimLocked(s.priority)
+			victim = srv.shedVictimLocked(s.Priority())
 		}
 		if victim == nil {
 			srv.shed++
@@ -376,15 +376,54 @@ func (srv *Server) enqueue(s *Session) error {
 // srv.mu.
 func (srv *Server) shedVictimLocked(pri int) *Session {
 	var victim *Session
+	victimPri := 0
 	for _, c := range srv.runq[srv.runqHead:] {
 		if c.shedReq.Load() {
 			continue
 		}
-		if c.priority < pri && (victim == nil || c.priority < victim.priority) {
-			victim = c
+		if p := c.Priority(); p < pri && (victim == nil || p < victimPri) {
+			victim, victimPri = c, p
 		}
 	}
 	return victim
+}
+
+// SetPriority re-ranks an open session's load-shedding priority at
+// runtime, without closing and recreating it (session migration between
+// shed priorities). The new rank applies to every later shedding
+// decision — in particular, a paused shed victim whose priority is
+// raised can Continue back above the shed line, displacing a session
+// that now ranks strictly below it.
+//
+// If the session is itself a queued pause victim (marked but not yet
+// paused by a worker) and another queued session now ranks strictly
+// below the new priority, the pause mark transfers to that session: the
+// re-ranked one keeps its queue slot and runs, and the newly lowest
+// session is paused in its place. The transfer only happens if the mark
+// is still unconsumed — a worker pausing the session concurrently wins.
+func (srv *Server) SetPriority(id uint64, prio int) error {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.closed {
+		return ErrNoServer
+	}
+	s, ok := srv.sessions[id]
+	if !ok {
+		return fmt.Errorf("serve: no session %d", id)
+	}
+	s.priority.Store(int64(prio))
+	if !s.shedReq.Load() {
+		return nil
+	}
+	// s is skipped by shedVictimLocked while marked, so v != s.
+	if v := srv.shedVictimLocked(prio); v != nil && s.shedReq.CompareAndSwap(true, false) {
+		// Both runnable slots survive the swap: s regains the one it lost
+		// when it was marked, v gives up its own, so the counter is
+		// untouched and the paused total is unchanged (still one pending
+		// pause, now aimed at v).
+		v.shedReq.Store(true)
+	}
+	return nil
 }
 
 // Create opens a session on the server's default machine configuration:

@@ -57,6 +57,15 @@ type machineFingerprint struct {
 	PC    uint64
 	Regs  [32]uint64
 	Hot   uint64
+
+	// Post-run hierarchy warmth, beyond the counters: a residency probe
+	// of the watched line and the latency of a deterministic cold access.
+	// These are sensitive to the cache's flattened line storage and LRU
+	// clocks themselves — a recycled machine whose Flush/Reset left stale
+	// lines or a saturated clock diverges here even if the statistics
+	// happen to agree.
+	HotLine bool
+	ColdLat uint64
 }
 
 // runDebugWorkload loads the gcc kernel on m, attaches a DISE-backend
@@ -86,15 +95,18 @@ func runDebugWorkload(t *testing.T, m *machine.Machine) machineFingerprint {
 	}
 	var regs [32]uint64
 	copy(regs[:], m.Core.Regs[:])
+	mem := m.MemStats() // snapshot before the warmth probes mutate it
 	return machineFingerprint{
-		Pipe:  st,
-		Trans: d.Stats(),
-		Mem:   m.MemStats(),
-		BP:    m.Core.BP.Stats(),
-		Dise:  m.Engine.Stats(),
-		PC:    m.Core.PC(),
-		Regs:  regs,
-		Hot:   m.ReadQuad(w.WP.Hot),
+		Pipe:    st,
+		Trans:   d.Stats(),
+		Mem:     mem,
+		BP:      m.Core.BP.Stats(),
+		Dise:    m.Engine.Stats(),
+		PC:      m.Core.PC(),
+		Regs:    regs,
+		Hot:     m.ReadQuad(w.WP.Hot),
+		HotLine: m.Hier.L1D.Probe(w.WP.Hot),
+		ColdLat: m.Hier.DataLatency(0x7F00_0000, false, 1<<40),
 	}
 }
 
@@ -829,6 +841,167 @@ func TestLoadSheddingPauseLowest(t *testing.T) {
 	}
 	if st := s2.Wait(); st != StateIdle {
 		t.Fatalf("victim after recovery = %v", st)
+	}
+}
+
+// TestRerankShedVictimRecovers: runtime priority migration. A
+// pause-lowest victim re-ranked above the running sessions drives its
+// way back above the shed line with a plain Continue — no
+// close/recreate — displacing a session that now ranks strictly below
+// it.
+func TestRerankShedVictimRecovers(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, Quantum: 200_000, QueueDepth: 2, Shed: ShedPauseLowest})
+	mk := func(pri int) *Session {
+		t.Helper()
+		s, err := srv.CreateSourceWith(spinProg, debug.DefaultOptions(debug.BackendDise),
+			SessionConfig{Priority: pri})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1, s2, s3 := mk(3), mk(1), mk(5)
+	if err := s1.Continue(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Continue(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.Continue(0); err != nil {
+		t.Fatalf("high-priority continue = %v, want shed-and-admit", err)
+	}
+	if st := s2.Wait(); st != StateIdle {
+		t.Fatalf("victim state = %v, want idle", st)
+	}
+	s2.Events() // drain the EventShed
+
+	// Without the re-rank the victim stays below the shed line (pinned by
+	// TestLoadSheddingPauseLowest). Raise it above both survivors.
+	if err := srv.SetPriority(s2.ID, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Priority(); got != 10 {
+		t.Fatalf("priority after rerank = %d, want 10", got)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		err := s2.Continue(0)
+		if err == nil {
+			break
+		}
+		// The only losing race is the instant the worker holds the queue
+		// between pop and requeue; retry like the other shedding tests.
+		if err != ErrOverloaded || time.Now().After(deadline) {
+			t.Fatalf("re-ranked victim not admitted: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// One of the previously runnable sessions (whichever was queued) is
+	// displaced in turn: Paused counts the mark immediately, and the
+	// victim pauses with an EventShed once a worker pops its queue slot.
+	for {
+		if st := srv.Stats(); st.Paused == 2 && st.Runnable == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no second pause after rerank: %+v", srv.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shedEvents := 0
+	for shedEvents == 0 {
+		for _, s := range []*Session{s1, s3} {
+			if s.State() != StateIdle {
+				continue
+			}
+			for _, ev := range s.Events() {
+				if ev.Kind == EventShed {
+					shedEvents++
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("displaced session never received its EventShed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if shedEvents != 1 {
+		t.Errorf("shed events among displaced sessions = %d, want 1", shedEvents)
+	}
+	for _, s := range []*Session{s1, s2, s3} {
+		s.Close()
+	}
+}
+
+// TestRerankTransfersQueuedMark: re-ranking a session that is still a
+// *queued* pause victim (marked, not yet paused by a worker) moves the
+// pause mark to the session that now ranks lowest, so the re-ranked one
+// runs and the other pauses in its place — re-sorting among shed
+// victims without the victim ever stopping.
+func TestRerankTransfersQueuedMark(t *testing.T) {
+	// One worker with a long quantum keeps s0 on the worker while the
+	// others sit in the queue, so the mark is observable before any
+	// worker consumes it.
+	srv := newTestServer(t, Config{Workers: 1, Quantum: 2_000_000, QueueDepth: 3, Shed: ShedPauseLowest})
+	mk := func(pri int) *Session {
+		t.Helper()
+		s, err := srv.CreateSourceWith(spinProg, debug.DefaultOptions(debug.BackendDise),
+			SessionConfig{Priority: pri})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s0, s1, s2, s4 := mk(9), mk(1), mk(3), mk(6)
+	for _, s := range []*Session{s0, s1, s2} {
+		if err := s.Continue(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// s4 exceeds the depth: queued s1 (lowest, strictly below 6) is
+	// marked as the pause victim.
+	if err := s4.Continue(0); err != nil {
+		t.Fatalf("continue past depth = %v, want pause-lowest admit", err)
+	}
+	if st := srv.Stats(); st.Paused != 1 {
+		t.Fatalf("stats after mark = %+v, want Paused=1", st)
+	}
+	// Re-rank the marked victim above everything else queued: the mark
+	// must transfer to s2, now the lowest.
+	if err := srv.SetPriority(s1.ID, 8); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st := s2.State(); st == StateIdle {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("transferred mark never paused s2: %+v", srv.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	found := false
+	for _, ev := range s2.Events() {
+		if ev.Kind == EventShed {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("transferred victim s2 got no EventShed")
+	}
+	// The re-ranked session was never paused, and the transfer did not
+	// double-count: still exactly one pause.
+	for _, ev := range s1.Events() {
+		if ev.Kind == EventShed {
+			t.Error("re-ranked session s1 was paused despite the transfer")
+		}
+	}
+	if st := srv.Stats(); st.Paused != 1 {
+		t.Errorf("paused = %d, want 1 (transfer must not double-count)", st.Paused)
+	}
+	for _, s := range []*Session{s0, s1, s2, s4} {
+		s.Close()
 	}
 }
 

@@ -84,8 +84,10 @@ type Session struct {
 	// srv.mu, consumed lock-free on the worker, hence atomic.
 	shedReq atomic.Bool
 
-	// priority and sc are fixed at creation and read without s.mu.
-	priority int
+	// priority starts at sc.Priority and can be re-ranked at runtime via
+	// Server.SetPriority (the rerank wire op); it is read lock-free by the
+	// shedding paths, hence atomic. sc itself is fixed at creation.
+	priority atomic.Int64
 	sc       SessionConfig
 
 	mu   sync.Mutex
@@ -110,7 +112,8 @@ type Session struct {
 // newSession wires a session around a loaded machine; the caller assigns
 // ID when it publishes the session into the server's table.
 func newSession(srv *Server, m *machine.Machine, prog *asm.Program, opts debug.Options, sc SessionConfig) *Session {
-	s := &Session{srv: srv, m: m, prog: prog, sc: sc, priority: sc.Priority}
+	s := &Session{srv: srv, m: m, prog: prog, sc: sc}
+	s.priority.Store(int64(sc.Priority))
 	s.cond = sync.NewCond(&s.mu)
 	s.d = debug.New(m, opts)
 	s.d.OnUser = func(ev debug.UserEvent) {
@@ -124,8 +127,8 @@ func newSession(srv *Server, m *machine.Machine, prog *asm.Program, opts debug.O
 	return s
 }
 
-// Priority returns the session's load-shedding priority.
-func (s *Session) Priority() int { return s.priority }
+// Priority returns the session's current load-shedding priority.
+func (s *Session) Priority() int { return int(s.priority.Load()) }
 
 // MachineConfig returns the session's machine configuration and the
 // preset name it was resolved from, if any.

@@ -25,3 +25,10 @@ awk -v got="$minsts" -v base="$baseline" 'BEGIN {
     }
     printf "bench_smoke: OK — %.2f Minsts/s (baseline %.2f, floor %.2f)\n", got, base, floor
 }'
+
+# Memory-system micro-benchmarks (informational, not gated): the fused
+# Cache.access scan and the unified Hierarchy miss engine, the two hot
+# paths behind the simulator throughput number above.
+echo "-- cache micros (informational) --"
+go test -bench='BenchmarkCacheAccess$|BenchmarkHierarchyDataLatency$' \
+    -run=NONE -benchtime=1s -count=1 ./internal/cache | grep -E 'Benchmark|^ok' || true
