@@ -7,6 +7,7 @@
 //
 //	disesrv [-listen addr] [-stdio] [-workers N] [-quantum N] [-max-sessions N]
 //	        [-machine preset] [-queue-depth N] [-shed reject|pause] [-push-buffer N]
+//	        [-checkpoint-every N] [-read-timeout d] [-write-timeout d] [-drain-timeout d]
 //
 // -machine selects the default machine configuration preset for sessions
 // that do not bring their own (clients pick per-session presets with the
@@ -14,6 +15,16 @@
 // be runnable at once and -shed picks what happens beyond it: reject new
 // admissions, or pause the lowest-priority queued session. -push-buffer
 // sizes the per-subscription event buffers for the subscribe op.
+//
+// -checkpoint-every N checkpoints each session every N quanta, enabling
+// crash recovery (a panicked quantum rebuilds the session from its last
+// checkpoint on a fresh machine) and the restore wire op. -read-timeout
+// severs TCP clients idle past the duration; -write-timeout severs
+// clients wedging the transport mid-write; severed clients' sessions stay
+// attachable. On SIGTERM/SIGINT the server drains gracefully: it stops
+// accepting connections and admissions (wire code "draining"), lets
+// in-flight quanta finish, checkpoints live sessions, flushes outboxes,
+// and exits — bounded by -drain-timeout.
 //
 // With -listen, every accepted connection is an independent protocol
 // stream; sessions outlive their connection and can be reattached from
@@ -38,12 +49,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/machine"
 	"repro/internal/serve"
@@ -61,6 +76,10 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 0, "runnable-session bound before load shedding (default max-sessions)")
 		shed       = flag.String("shed", "reject", "load-shedding policy past queue-depth (reject|pause)")
 		pushBuffer = flag.Int("push-buffer", 0, "per-subscription event buffer depth (default 128)")
+		checkpoint = flag.Int("checkpoint-every", 0, "checkpoint each session every N quanta (0 = off)")
+		readTO     = flag.Duration("read-timeout", 0, "sever TCP clients idle past this (0 = none)")
+		writeTO    = flag.Duration("write-timeout", 0, "sever TCP clients wedging a write past this (0 = none)")
+		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 	if !*stdio && *listen == "" {
@@ -81,20 +100,25 @@ func main() {
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:     *workers,
-		Quantum:     *quantum,
-		MaxSessions: *maxSessions,
-		Machine:     mcfg,
-		Preset:      *machineName,
-		QueueDepth:  *queueDepth,
-		Shed:        policy,
-		PushBuffer:  *pushBuffer,
+		Workers:         *workers,
+		Quantum:         *quantum,
+		MaxSessions:     *maxSessions,
+		Machine:         mcfg,
+		Preset:          *machineName,
+		QueueDepth:      *queueDepth,
+		Shed:            policy,
+		PushBuffer:      *pushBuffer,
+		CheckpointEvery: *checkpoint,
+		ReadTimeout:     *readTO,
+		WriteTimeout:    *writeTO,
 	})
 	defer srv.Close()
 
 	var wg sync.WaitGroup
+	var l net.Listener
 	if *listen != "" {
-		l, err := net.Listen("tcp", *listen)
+		var err error
+		l, err = net.Listen("tcp", *listen)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "disesrv:", err)
 			os.Exit(1)
@@ -103,11 +127,30 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := srv.Serve(l); err != nil {
+			// A closed listener is the graceful-drain path, not an error.
+			if err := srv.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
 				fmt.Fprintln(os.Stderr, "disesrv:", err)
 			}
 		}()
 	}
+
+	// Graceful drain: stop accepting connections, reject new admissions,
+	// let in-flight quanta finish and checkpoint live sessions, then close
+	// (which flushes and finalizes) and exit.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "disesrv: %v: draining (bound %v)\n", sig, *drainTO)
+		if l != nil {
+			l.Close()
+		}
+		if !srv.Drain(*drainTO) {
+			fmt.Fprintln(os.Stderr, "disesrv: drain timed out; closing anyway")
+		}
+		srv.Close()
+		os.Exit(0)
+	}()
 	if *stdio {
 		wg.Add(1)
 		go func() {

@@ -48,6 +48,19 @@ type Memory struct {
 	// when text is patched (breakpoint toggling, binary rewriting, DISE
 	// production installation, or self-modifying code).
 	onWrite []func(loPN, hiPN uint64)
+
+	// Dirty-page tracking for incremental snapshots: while track is set
+	// (from the first Snapshot on), every written page number lands in
+	// dirty, so the next Snapshot copies only pages changed since base and
+	// shares the rest with it. lastDirty is a one-entry MRU filter (page
+	// number + 1; 0 = none) that keeps repeated stores to one page — the
+	// overwhelmingly common pattern — out of the map. Untracked memories
+	// (track false, the pre-snapshot default) pay a single branch per
+	// write.
+	track     bool
+	dirty     map[uint64]struct{}
+	lastDirty uint64
+	base      *State
 }
 
 // New returns an empty memory.
@@ -77,12 +90,26 @@ func (m *Memory) Reset() {
 	m.pages = make(map[uint64]*[PageSize]byte)
 	m.pcache = [pcacheSize]pcacheEntry{}
 	m.gen = 0
+	m.track = false
+	m.dirty = nil
+	m.lastDirty = 0
+	m.base = nil
 }
 
 // noteWrite advances the write generation and notifies the write hooks of
 // a completed write of n bytes at addr (n >= 1).
 func (m *Memory) noteWrite(addr uint64, n int) {
 	m.gen++
+	if m.track {
+		lo := addr >> pageShift
+		hi := (addr + uint64(n) - 1) >> pageShift
+		if lo+1 != m.lastDirty || hi != lo {
+			for pn := lo; pn <= hi; pn++ {
+				m.dirty[pn] = struct{}{}
+			}
+			m.lastDirty = lo + 1
+		}
+	}
 	for _, fn := range m.onWrite {
 		fn(addr>>pageShift, (addr+uint64(n)-1)>>pageShift)
 	}
@@ -270,6 +297,17 @@ func (p *Protection) WriteFaults(addr uint64, size int) bool {
 
 // ProtectedPages returns how many pages are currently write-protected.
 func (p *Protection) ProtectedPages() int { return len(p.readOnly) }
+
+// Pages returns the sorted page numbers currently write-protected, for
+// snapshot capture; ProtectRange on each restores an equivalent table.
+func (p *Protection) Pages() []uint64 {
+	out := make([]uint64, 0, len(p.readOnly))
+	for pn := range p.readOnly {
+		out = append(out, pn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 func (p *Protection) String() string {
 	return fmt.Sprintf("protection{%d pages}", len(p.readOnly))

@@ -97,3 +97,72 @@ func BenchmarkPoolRecycle(b *testing.B) {
 		m = pool.Get()
 	}
 }
+
+// BenchmarkSnapshot isolates the cost of one machine snapshot on a warm
+// gcc workload — the per-checkpoint price the serve layer pays. The
+// first Snapshot after the run is a full page copy; steady-state
+// iterations measure the incremental (dirty-page-filtered) path a
+// periodically checkpointing session actually sees, plus the wire
+// encoding measured separately by the bytes metric.
+func BenchmarkSnapshot(b *testing.B) {
+	spec, ok := workload.ByName("gcc")
+	if !ok {
+		b.Fatal("no gcc workload")
+	}
+	w := workload.MustBuild(spec, 1<<20)
+	m := machine.New(DefaultConfig().Machine)
+	m.Load(w.Program)
+	if _, err := m.Run(100_000); err != nil {
+		b.Fatal(err)
+	}
+	st := m.Snapshot() // prime: full copy + enable dirty tracking
+	b.ReportMetric(float64(len(st.Encode())), "encoded-bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st = m.Snapshot()
+	}
+	_ = st
+}
+
+// BenchmarkCheckpointOverhead reruns the homogeneous 8-session serve
+// workload with periodic checkpointing on, so the delta against
+// BenchmarkServeConcurrent/sessions=8 is the end-to-end cost of crash
+// safety at a given cadence.
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	spec, ok := workload.ByName("gcc")
+	if !ok {
+		b.Fatal("no gcc workload")
+	}
+	w := workload.MustBuild(spec, 1<<20)
+	const perSession = 200_000
+	const n = 8
+	for _, every := range []int{1, 4} {
+		b.Run(fmt.Sprintf("every=%d", every), func(b *testing.B) {
+			srv := New(Config{Quantum: 25_000, MaxSessions: n, CheckpointEvery: every})
+			defer srv.Close()
+			totalInsts := uint64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sessions := make([]*Session, n)
+				for j := range sessions {
+					s, err := srv.Create(w.Program, debug.DefaultOptions(debug.BackendDise))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := s.Continue(perSession); err != nil {
+						b.Fatal(err)
+					}
+					sessions[j] = s
+				}
+				for _, s := range sessions {
+					s.Wait()
+					st, _ := s.Stats()
+					totalInsts += st.AppInsts
+					s.Close()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(totalInsts)/b.Elapsed().Seconds()/1e6, "Minsts/s")
+		})
+	}
+}

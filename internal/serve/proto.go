@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/debug"
 	"repro/internal/machine"
@@ -44,9 +45,19 @@ import (
 // wanting concurrent sessions open one connection per session, multiplex
 // with seq, or subscribe.
 //
+// The snapshot op checkpoints an idle session and reports the encoded
+// snapshot's size and content hash; the restore op rewinds the session to
+// its last checkpoint (periodic, drain-time, or snapshot-created). On
+// deadline-capable transports the server arms Config.ReadTimeout /
+// Config.WriteTimeout around each read and write, so a wedged or idle
+// client is severed — its sessions stay attachable, like the slow-consumer
+// path.
+//
 // Failures carry a machine-readable code alongside the message when one
 // applies: "overloaded" (load shedding rejected the continue/step),
-// "running", "halted", "closed", "no-server".
+// "running", "halted", "closed", "no-server", "draining" (the server is
+// shutting down gracefully), "errored" (the session faulted beyond
+// recovery), "no-checkpoint" (restore with nothing to rewind to).
 
 // Request is one protocol request.
 type Request struct {
@@ -54,7 +65,7 @@ type Request struct {
 	Seq uint64 `json:"seq,omitempty"`
 	// Op selects the operation: create, attach, list, watch, break,
 	// continue, step, wait, events, subscribe, unsubscribe, rerank,
-	// stats, read, close, ping.
+	// stats, read, snapshot, restore, close, ping.
 	Op string `json:"op"`
 	// Session addresses every op except create, list, ping, and the
 	// server-wide stats form.
@@ -144,6 +155,10 @@ type Response struct {
 	Server   *ServerStats `json:"server,omitempty"`
 	Value    *uint64      `json:"value,omitempty"`
 	Sessions []uint64     `json:"sessions,omitempty"`
+
+	// snapshot: the encoded snapshot's size and SHA-256 content hash.
+	SnapshotBytes int    `json:"snapshot_bytes,omitempty"`
+	SnapshotHash  string `json:"snapshot_hash,omitempty"`
 }
 
 // EventFrame is one asynchronously pushed event on a subscribed
@@ -167,6 +182,12 @@ func errCode(err error) string {
 		return "closed"
 	case errors.Is(err, ErrNoServer):
 		return "no-server"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, ErrErrored):
+		return "errored"
+	case errors.Is(err, ErrNoCheck):
+		return "no-checkpoint"
 	}
 	return ""
 }
@@ -234,10 +255,20 @@ func (c *protoConn) send(v any) {
 // writes out — so a response enqueued right before EOF is not lost.
 func (c *protoConn) writer() {
 	defer close(c.writerDone)
+	// On deadline-capable transports (TCP), each frame write is bounded by
+	// Config.WriteTimeout: a client wedging the transport mid-write is
+	// severed instead of pinning the writer goroutine forever.
+	wd, _ := c.rw.(interface{ SetWriteDeadline(time.Time) error })
+	arm := func() {
+		if wd != nil && c.srv.cfg.WriteTimeout > 0 {
+			_ = wd.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+		}
+	}
 	enc := json.NewEncoder(c.rw)
 	for {
 		select {
 		case v := <-c.outc:
+			arm()
 			if err := enc.Encode(v); err != nil {
 				c.sever()
 				return
@@ -246,6 +277,7 @@ func (c *protoConn) writer() {
 			for {
 				select {
 				case v := <-c.outc:
+					arm()
 					if enc.Encode(v) != nil {
 						return
 					}
@@ -339,7 +371,18 @@ func (srv *Server) ServeConn(rw io.ReadWriter) error {
 
 	sc := bufio.NewScanner(rw)
 	sc.Buffer(make([]byte, 0, 64<<10), 4<<20) // programs ride in requests
-	for sc.Scan() {
+	// On deadline-capable transports, each wait for the next request line
+	// is bounded by Config.ReadTimeout: an idle or wedged client is
+	// severed (the Scan fails with a timeout), and its sessions remain
+	// attachable — the same containment as the slow-consumer path.
+	rd, _ := rw.(interface{ SetReadDeadline(time.Time) error })
+	for {
+		if rd != nil && srv.cfg.ReadTimeout > 0 {
+			_ = rd.SetReadDeadline(time.Now().Add(srv.cfg.ReadTimeout))
+		}
+		if !sc.Scan() {
+			break
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
@@ -470,7 +513,15 @@ func (srv *Server) handleErr(c *protoConn, req *Request) (Response, error) {
 		return Response{State: StateRunning.String()}, nil
 	case "wait":
 		st := s.Wait()
-		return Response{State: st.String(), Events: s.Events()}, nil
+		resp := Response{State: st.String(), Events: s.Events()}
+		if st == StateErrored {
+			if serr := s.Err(); serr != nil {
+				// Surface the panic value with the errored wire code.
+				return resp, fmt.Errorf("%w: %v", ErrErrored, serr)
+			}
+			return resp, ErrErrored
+		}
+		return resp, nil
 	case "events":
 		return Response{State: s.State().String(), Events: s.Events()}, nil
 	case "subscribe":
@@ -516,6 +567,17 @@ func (srv *Server) handleErr(c *protoConn, req *Request) (Response, error) {
 			return Response{}, err
 		}
 		return Response{Value: &v}, nil
+	case "snapshot":
+		n, hash, err := s.SnapshotNow()
+		if err != nil {
+			return Response{State: s.State().String()}, err
+		}
+		return Response{Session: s.ID, State: s.State().String(), SnapshotBytes: n, SnapshotHash: hash}, nil
+	case "restore":
+		if err := s.Rewind(); err != nil {
+			return Response{State: s.State().String()}, err
+		}
+		return Response{Session: s.ID, State: StateIdle.String()}, nil
 	case "close":
 		s.Close()
 		return Response{State: StateClosed.String()}, nil

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/debug"
@@ -130,6 +131,33 @@ type Config struct {
 	// ServerStats.EventsDropped, so an undrained hot-loop watchpoint
 	// cannot grow server memory without bound (default 65536).
 	EventBuffer int
+	// CheckpointEvery, when positive, checkpoints each session every K
+	// completed quanta (a machine snapshot plus the debugger companion),
+	// giving fault recovery and the restore wire op a rewind point at
+	// most K quanta old. 0 disables periodic checkpointing; the snapshot
+	// wire op still creates explicit checkpoints.
+	CheckpointEvery int
+	// MaxFaults bounds consecutive faults per session: after this many
+	// panicked quanta with no completed quantum in between, the session
+	// stops being rebuilt and transitions to the terminal errored state
+	// (default 3).
+	MaxFaults int
+	// FaultInject, when set, runs at the top of every quantum with the
+	// session ID, the per-session quantum ordinal (strictly increasing
+	// across recoveries), and the machine about to run. A panic — or a
+	// returned error, which is panicked on the hook's behalf — unwinds
+	// into the worker's recovery path exactly like a real fault; mutating
+	// the machine simulates state corruption that the rebuilt session
+	// discards. Test-only.
+	FaultInject func(id uint64, quantum uint64, m *machine.Machine) error
+	// ReadTimeout bounds how long ServeConn waits for the next request
+	// line on deadline-capable transports (net.Conn): a client idle past
+	// it is severed, leaving its sessions attachable. 0 disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response/event frame write on
+	// deadline-capable transports; a client wedging the transport past it
+	// is severed. 0 disables.
+	WriteTimeout time.Duration
 }
 
 // DefaultConfig returns the default service configuration.
@@ -177,6 +205,9 @@ func (c Config) withDefaults() Config {
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = d.EventBuffer
 	}
+	if c.MaxFaults <= 0 {
+		c.MaxFaults = 3
+	}
 	return c
 }
 
@@ -205,6 +236,8 @@ type ServerStats struct {
 	Paused          uint64    `json:"paused"`         // sessions paused to make room (ShedPauseLowest)
 	SlowConsumers   uint64    `json:"slow_consumers"` // subscriptions dropped for not keeping up
 	EventsDropped   uint64    `json:"events_dropped"` // pull-queue events discarded at EventBuffer
+	Faults          uint64    `json:"faults"`         // quanta that panicked
+	Recoveries      uint64    `json:"recoveries"`     // sessions rebuilt from a checkpoint
 	Runnable        int       `json:"runnable"`       // sessions admitted to run right now
 	QueueLen        int       `json:"queue_len"`      // run-queue length right now
 	PoolConfigs     int       `json:"pool_configs"`   // distinct machine configurations with parked machines
@@ -220,16 +253,19 @@ type Server struct {
 	mu        sync.Mutex
 	cond      *sync.Cond // broadcast when a session is dropped
 	runcond   *sync.Cond // signaled when the run queue gains work
-	sessions  map[uint64]*Session
-	nextID    uint64
-	closed    bool
-	created   uint64
-	dropped   uint64
-	quanta    uint64
-	shed      uint64
-	paused    uint64
-	slow      uint64
-	evDropped uint64
+	sessions   map[uint64]*Session
+	nextID     uint64
+	closed     bool
+	draining   bool // Drain in progress: no new admissions, running sessions park
+	created    uint64
+	dropped    uint64
+	quanta     uint64
+	shed       uint64
+	paused     uint64
+	slow       uint64
+	evDropped  uint64
+	faults     uint64
+	recoveries uint64
 
 	// The run queue is a FIFO over a head-indexed slice (not a channel)
 	// so load shedding can inspect queued sessions for a pause victim.
@@ -310,19 +346,23 @@ func (srv *Server) worker() {
 			continue
 		}
 
-		again := s.runQuantum(srv.cfg.Quantum)
+		again := s.runQuantumGuarded(srv.cfg.Quantum)
 		srv.mu.Lock()
 		srv.quanta++
-		if again && !srv.closed {
+		if again && !srv.closed && !srv.draining {
 			srv.pushLocked(s)
 			srv.runcond.Signal()
 			srv.mu.Unlock()
 			continue
 		}
 		srv.runnable--
+		if srv.runnable == 0 {
+			srv.cond.Broadcast() // Drain waits for the last quantum to land
+		}
 		closed := srv.closed
 		srv.mu.Unlock()
-		if again && closed {
+		switch {
+		case again && closed:
 			// Shutdown raced the requeue: park the session stopped so
 			// Close can finalize it.
 			s.mu.Lock()
@@ -334,6 +374,12 @@ func (srv *Server) worker() {
 			}
 			s.cond.Broadcast()
 			s.mu.Unlock()
+		case again:
+			// Draining: park the session idle with an EventShed, exactly
+			// like a load-shedding pause — a Continue after the next start
+			// resumes it from here (its checkpoint preserves the rewind
+			// point too).
+			s.pauseShed()
 		}
 	}
 }
@@ -348,6 +394,9 @@ func (srv *Server) enqueue(s *Session) error {
 	defer srv.mu.Unlock()
 	if srv.closed {
 		return ErrNoServer
+	}
+	if srv.draining {
+		return ErrDraining
 	}
 	if srv.runnable >= srv.cfg.QueueDepth {
 		victim := (*Session)(nil)
@@ -481,6 +530,9 @@ func (srv *Server) admitLocked() error {
 	if srv.closed {
 		return ErrNoServer
 	}
+	if srv.draining {
+		return ErrDraining
+	}
 	if len(srv.sessions) >= srv.cfg.MaxSessions {
 		return fmt.Errorf("serve: session limit reached (%d)", srv.cfg.MaxSessions)
 	}
@@ -532,6 +584,8 @@ func (srv *Server) Stats() ServerStats {
 		Paused:          srv.paused,
 		SlowConsumers:   srv.slow,
 		EventsDropped:   srv.evDropped,
+		Faults:          srv.faults,
+		Recoveries:      srv.recoveries,
 		Runnable:        srv.runnable,
 		QueueLen:        srv.queuedLocked(),
 	}
@@ -553,6 +607,70 @@ func (srv *Server) noteEventsDropped(n uint64) {
 	srv.mu.Lock()
 	srv.evDropped += n
 	srv.mu.Unlock()
+}
+
+// noteFault counts a panicked quantum.
+func (srv *Server) noteFault() {
+	srv.mu.Lock()
+	srv.faults++
+	srv.mu.Unlock()
+}
+
+// noteRecovery counts a session rebuilt from its checkpoint.
+func (srv *Server) noteRecovery() {
+	srv.mu.Lock()
+	srv.recoveries++
+	srv.mu.Unlock()
+}
+
+// Drain initiates a graceful shutdown: new sessions and resumes are
+// rejected with ErrDraining, in-flight quanta finish, and running
+// sessions park idle at their next quantum boundary instead of
+// requeueing. Once quiescent — or when the timeout expires — every idle
+// session that still owns a machine is checkpointed, preserving its
+// progress for a restart. Drain reports whether the server went fully
+// quiescent in time; call Close afterwards to release sessions and stop
+// the workers.
+func (srv *Server) Drain(timeout time.Duration) bool {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return true
+	}
+	srv.draining = true
+	srv.mu.Unlock()
+
+	deadline := time.Now().Add(timeout)
+	// srv.cond has no timed wait; same one-shot broadcast pattern as
+	// Session.WaitTimeout.
+	timer := time.AfterFunc(timeout, func() {
+		srv.mu.Lock()
+		srv.cond.Broadcast()
+		srv.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	srv.mu.Lock()
+	for srv.runnable > 0 && !srv.closed && time.Now().Before(deadline) {
+		srv.cond.Wait()
+	}
+	drained := srv.runnable == 0
+	open := make([]*Session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		open = append(open, s)
+	}
+	srv.mu.Unlock()
+
+	for _, s := range open {
+		if remaining := time.Until(deadline); drained && remaining > 0 {
+			// The worker that ran the session's last quantum parks it just
+			// after releasing its runnable slot; settle that handoff so the
+			// checkpoint below observes the parked state.
+			s.WaitTimeout(remaining)
+		}
+		s.checkpointIfIdle()
+	}
+	return drained
 }
 
 // dropSession removes a finalized session from the table.

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sync"
@@ -20,6 +22,9 @@ var (
 	ErrHalted   = errors.New("serve: program has halted")
 	ErrClosed   = errors.New("serve: session is closed")
 	ErrNoServer = errors.New("serve: server is closed")
+	ErrDraining = errors.New("serve: server is draining")
+	ErrErrored  = errors.New("serve: session errored")
+	ErrNoCheck  = errors.New("serve: session has no checkpoint")
 )
 
 // State is a session's lifecycle position.
@@ -33,9 +38,15 @@ const (
 	StateRunning
 	StateHalted
 	StateClosed
+	// StateErrored is terminal: the session faulted beyond recovery
+	// (Config.MaxFaults consecutive faults, a fault with no checkpoint to
+	// rebuild from, or a failed recovery). The panic value is surfaced by
+	// Err and on wait; the machine has been discarded. Close releases the
+	// session.
+	StateErrored
 )
 
-var stateNames = [...]string{"idle", "running", "halted", "closed"}
+var stateNames = [...]string{"idle", "running", "halted", "closed", "errored"}
 
 func (s State) String() string {
 	if int(s) < len(stateNames) {
@@ -56,16 +67,24 @@ const (
 	EventStop  EventKind = "stop"  // the instruction budget was exhausted
 	EventShed  EventKind = "shed"  // paused by load shedding; Continue resumes
 	EventError EventKind = "error" // the run failed (e.g. uop safety cap)
+	EventFault EventKind = "fault" // a quantum panicked; session recovered from its checkpoint
 )
 
 // Event is one entry in a session's event queue, delivered in execution
 // order and drained by Events (or the protocol's wait/events ops).
+//
+// Delivery around faults is at-least-once: events appended after the
+// checkpoint a recovery rewinds to have already been delivered, and the
+// replayed execution appends them again. Subscribers that must
+// deduplicate can use Gen — it increments on every recovery, and a fault
+// event carries the generation of the rebuilt incarnation.
 type Event struct {
 	Kind  EventKind `json:"kind"`
 	PC    uint64    `json:"pc,omitempty"`
 	Watch string    `json:"watch,omitempty"` // watchpoint name (EventWatch)
 	Value uint64    `json:"value,omitempty"` // watched value (EventWatch)
-	Err   string    `json:"err,omitempty"`   // failure detail (EventError)
+	Err   string    `json:"err,omitempty"`   // failure detail (EventError, EventFault)
+	Gen   uint64    `json:"gen,omitempty"`   // recovery generation (EventFault, EventError)
 }
 
 // Session is one debug session: a pooled machine, a loaded program, a
@@ -107,6 +126,26 @@ type Session struct {
 	stats  pipeline.Stats
 	trans  debug.TransitionStats
 	err    error
+
+	// Crash-safety state: the last checkpoint (machine snapshot plus
+	// debugger companion), how many quanta ran since it was taken, the
+	// consecutive-fault streak (reset by every completed quantum), the
+	// recovery generation (how many times this session was rebuilt), and
+	// the per-session quantum ordinal handed to Config.FaultInject —
+	// strictly increasing across recoveries, so an injector keyed on it
+	// fires once per value.
+	chk      *checkpoint
+	sinceChk int
+	faults   int
+	gen      uint64
+	nQuanta  uint64
+}
+
+// checkpoint pairs a machine snapshot with the debugger state that must
+// accompany it for classification to continue bit-identically.
+type checkpoint struct {
+	mach *machine.State
+	dbg  *debug.Checkpoint
 }
 
 // newSession wires a session around a loaded machine; the caller assigns
@@ -117,12 +156,17 @@ func newSession(srv *Server, m *machine.Machine, prog *asm.Program, opts debug.O
 	s.cond = sync.NewCond(&s.mu)
 	s.d = debug.New(m, opts)
 	s.d.OnUser = func(ev debug.UserEvent) {
-		// Runs on the worker goroutine, inside m.Run, with s.mu free.
+		// Runs on the worker goroutine, inside m.Run, with s.mu free. Read
+		// the machine through s.m rather than the captured m: fault
+		// recovery replaces the session's machine, and stopping the
+		// discarded one would do nothing. Only the owning worker swaps
+		// s.m, so the read is current for the run this event fired in.
 		s.mu.Lock()
 		s.appendEventLocked(fromUserEvent(ev))
 		s.hitUser = true
+		cur := s.m
 		s.mu.Unlock()
-		m.Core.RequestStop()
+		cur.Core.RequestStop()
 	}
 	return s
 }
@@ -193,6 +237,8 @@ func (s *Session) idleLocked() error {
 		return ErrHalted
 	case StateClosed:
 		return ErrClosed
+	case StateErrored:
+		return ErrErrored
 	}
 	return nil
 }
@@ -212,6 +258,11 @@ func (s *Session) Continue(budget uint64) error {
 			return err
 		}
 		s.installed = true
+	}
+	if s.srv.cfg.CheckpointEvery > 0 && s.chk == nil {
+		// First resume with checkpointing on: capture the post-install
+		// state so even a first-quantum fault has somewhere to rewind to.
+		s.checkpointLocked()
 	}
 	if budget > 0 {
 		s.target = s.m.Core.Stats().AppInsts + budget
@@ -410,11 +461,13 @@ func (s *Session) Stats() (pipeline.Stats, debug.TransitionStats) {
 func (s *Session) ReadQuad(addr uint64) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.state == StateRunning || s.state == StateClosed {
-		if s.state == StateClosed {
-			return 0, ErrClosed
-		}
+	switch s.state {
+	case StateClosed:
+		return 0, ErrClosed
+	case StateRunning:
 		return 0, ErrRunning
+	case StateErrored:
+		return 0, ErrErrored
 	}
 	return s.m.ReadQuad(addr), nil
 }
@@ -470,6 +523,161 @@ func (s *Session) pauseShed() {
 	s.cond.Broadcast()
 }
 
+// runQuantumGuarded is runQuantum under panic isolation: a panic anywhere
+// in the quantum — the simulator, a debugger hook, or the fault-injection
+// harness — is confined to this session. The broken machine is discarded
+// and the session is rebuilt from its last checkpoint onto a fresh pooled
+// machine; without a checkpoint (or after MaxFaults consecutive faults)
+// the session transitions to the terminal errored state instead. The
+// worker process never dies.
+func (s *Session) runQuantumGuarded(quantum uint64) (again bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			again = s.recoverFault(r)
+		}
+	}()
+	return s.runQuantum(quantum)
+}
+
+// recoverFault handles a panicked quantum; it reports whether the session
+// should be requeued (true only when it was rebuilt and keeps running).
+func (s *Session) recoverFault(r any) (again bool) {
+	faultErr := fmt.Errorf("serve: session fault: %v", r)
+	s.srv.noteFault()
+	// Registered before the mu-unlock defer so it runs after it: if
+	// recovery itself panics (a corrupted checkpoint, a pool failure), the
+	// mutex is already released and the session can still be errored
+	// loudly instead of killing the worker.
+	defer func() {
+		if r2 := recover(); r2 != nil {
+			s.mu.Lock()
+			s.errorLocked(fmt.Errorf("serve: recovery failed: %v (recovering from: %v)", r2, faultErr))
+			s.mu.Unlock()
+			again = false
+		}
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults++
+	if s.closeReq {
+		// The session is being torn down anyway: drop the broken machine
+		// (never back to the pool) and finalize.
+		s.srv.pools.discard()
+		s.m, s.d = nil, nil
+		s.finalizeLocked()
+		return false
+	}
+	if s.chk == nil || s.faults >= s.srv.cfg.MaxFaults {
+		s.errorLocked(faultErr)
+		return false
+	}
+	// Rebuild: discard the broken machine, restore the checkpoint onto a
+	// fresh pooled one, and carry the debugger across.
+	s.srv.pools.discard()
+	nm := s.srv.pools.Get(s.sc.Machine)
+	nm.Restore(s.chk.mach)
+	s.d.RestoreCheckpoint(s.chk.dbg)
+	s.d.Rebind(nm)
+	s.m = nm
+	s.gen++
+	s.sinceChk = 0
+	s.stats = nm.Core.Stats()
+	s.trans = s.d.Stats()
+	s.appendEventLocked(Event{Kind: EventFault, PC: nm.Core.PC(), Err: faultErr.Error(), Gen: s.gen})
+	s.srv.noteRecovery()
+	return true // still StateRunning: requeue and replay from the checkpoint
+}
+
+// errorLocked moves the session to the terminal errored state: the
+// machine (if any) is discarded, the panic value is retained for Err and
+// wait, subscribers get a final EventError and are closed. The session
+// stays in the server table so clients can attach and read the failure;
+// Close releases it. Caller holds s.mu.
+func (s *Session) errorLocked(err error) {
+	if s.state == StateClosed || s.state == StateErrored {
+		return
+	}
+	if s.m != nil {
+		s.srv.pools.discard()
+	}
+	s.m, s.d = nil, nil
+	s.err = err
+	s.state = StateErrored
+	s.appendEventLocked(Event{Kind: EventError, Err: err.Error(), Gen: s.gen})
+	for _, sub := range s.subs {
+		sub.closeLocked()
+	}
+	s.subs = nil
+	s.cond.Broadcast()
+}
+
+// checkpointLocked captures the session's current machine and debugger
+// state as the rewind point. Caller holds s.mu; the session must own a
+// machine and must not be running on a worker.
+func (s *Session) checkpointLocked() {
+	s.chk = &checkpoint{mach: s.m.Snapshot(), dbg: s.d.Checkpoint()}
+	s.sinceChk = 0
+}
+
+// checkpointIfIdle checkpoints the session if it is idle and still owns a
+// machine — the drain path, preserving progress before shutdown.
+func (s *Session) checkpointIfIdle() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateIdle || s.m == nil {
+		return
+	}
+	s.checkpointLocked()
+}
+
+// SnapshotNow checkpoints the idle session on demand and returns the
+// deterministic encoding's size and SHA-256 content hash (the wire
+// protocol's snapshot op). The checkpoint becomes the session's rewind
+// point, so snapshot-then-restore is an explicit save/load pair even with
+// periodic checkpointing off.
+func (s *Session) SnapshotNow() (size int, hash string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.idleLocked(); err != nil {
+		return 0, "", err
+	}
+	s.checkpointLocked()
+	enc := s.chk.mach.Encode()
+	sum := sha256.Sum256(enc)
+	return len(enc), hex.EncodeToString(sum[:]), nil
+}
+
+// Rewind restores the session to its last checkpoint (the wire
+// protocol's restore op — the first slice of time-travel). It is legal
+// while idle or halted: rewinding a halted session un-halts it back to
+// the checkpointed execution point. Running, closed, and errored
+// sessions are rejected.
+func (s *Session) Rewind() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case StateRunning:
+		return ErrRunning
+	case StateClosed:
+		return ErrClosed
+	case StateErrored:
+		return ErrErrored
+	}
+	if s.chk == nil {
+		return ErrNoCheck
+	}
+	s.m.Restore(s.chk.mach)
+	s.d.RestoreCheckpoint(s.chk.dbg)
+	s.state = StateIdle
+	s.err = nil
+	s.faults = 0
+	s.hitUser = false
+	s.stats = s.m.Core.Stats()
+	s.trans = s.d.Stats()
+	s.cond.Broadcast()
+	return nil
+}
+
 // runQuantum executes one scheduling slice on the calling worker and
 // reports whether the session should be requeued. It is only ever called
 // by the worker that dequeued the session, so the machine is touched by
@@ -490,14 +698,31 @@ func (s *Session) runQuantum(quantum uint64) bool {
 		target = s.target
 	}
 	s.hitUser = false
+	s.nQuanta++
+	nq := s.nQuanta
 	s.mu.Unlock()
+
+	if inject := s.srv.cfg.FaultInject; inject != nil {
+		if err := inject(s.ID, nq, m); err != nil {
+			// An injected fault is indistinguishable from a real one: it
+			// unwinds into runQuantumGuarded's recovery path.
+			panic(err)
+		}
+	}
 
 	_, err := m.Run(target)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.faults = 0 // the quantum completed: the consecutive-fault streak ends
 	s.stats = m.Core.Stats()
 	s.trans = s.d.Stats()
+	if ce := s.srv.cfg.CheckpointEvery; ce > 0 && err == nil && !m.Core.Halted() && !s.closeReq {
+		s.sinceChk++
+		if s.sinceChk >= ce {
+			s.checkpointLocked()
+		}
+	}
 	switch {
 	case err != nil:
 		s.err = err

@@ -32,3 +32,11 @@ awk -v got="$minsts" -v base="$baseline" 'BEGIN {
 echo "-- cache micros (informational) --"
 go test -bench='BenchmarkCacheAccess$|BenchmarkHierarchyDataLatency$' \
     -run=NONE -benchtime=1s -count=1 ./internal/cache | grep -E 'Benchmark|^ok' || true
+
+# Crash-safety micros (informational, not gated): the incremental machine
+# snapshot (the per-checkpoint price) and the serve workload rerun with
+# periodic checkpointing on, whose delta against
+# BenchmarkServeConcurrent/sessions=8 is the end-to-end cost of recovery.
+echo "-- snapshot/checkpoint (informational) --"
+go test -bench='BenchmarkSnapshot$|BenchmarkCheckpointOverhead' \
+    -run=NONE -benchtime=1x -count=1 ./internal/serve | grep -E 'Benchmark|^ok' || true
