@@ -8,6 +8,7 @@
 //	disesrv [-listen addr] [-stdio] [-workers N] [-quantum N] [-max-sessions N]
 //	        [-machine preset] [-queue-depth N] [-shed reject|pause] [-push-buffer N]
 //	        [-checkpoint-every N] [-read-timeout d] [-write-timeout d] [-drain-timeout d]
+//	        [-pprof addr]
 //
 // -machine selects the default machine configuration preset for sessions
 // that do not bring their own (clients pick per-session presets with the
@@ -25,6 +26,10 @@
 // accepting connections and admissions (wire code "draining"), lets
 // in-flight quanta finish, checkpoints live sessions, flushes outboxes,
 // and exits — bounded by -drain-timeout.
+//
+// -pprof addr serves net/http/pprof on a profiling sidecar address
+// (e.g. localhost:6060): live CPU/heap/goroutine profiles of a running
+// service, the production half of scripts/profile_smoke.sh.
 //
 // With -listen, every accepted connection is an independent protocol
 // stream; sessions outlive their connection and can be reattached from
@@ -53,6 +58,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"strings"
@@ -80,6 +87,7 @@ func main() {
 		readTO     = flag.Duration("read-timeout", 0, "sever TCP clients idle past this (0 = none)")
 		writeTO    = flag.Duration("write-timeout", 0, "sever TCP clients wedging a write past this (0 = none)")
 		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound on SIGTERM/SIGINT")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if !*stdio && *listen == "" {
@@ -113,6 +121,18 @@ func main() {
 		WriteTimeout:    *writeTO,
 	})
 	defer srv.Close()
+
+	if *pprofAddr != "" {
+		// Profiling sidecar: the default mux carries net/http/pprof's
+		// handlers via its blank import. Serving it is best-effort — a
+		// taken port logs and the service runs on unprofiled.
+		go func() {
+			fmt.Fprintln(os.Stderr, "disesrv: pprof on http://"+*pprofAddr+"/debug/pprof/")
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "disesrv: pprof:", err)
+			}
+		}()
+	}
 
 	var wg sync.WaitGroup
 	var l net.Listener

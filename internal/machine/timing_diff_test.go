@@ -1,0 +1,177 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/pipeline"
+)
+
+// genTimingProgram emits a pseudo-random program for the event-edge vs
+// linear-reference differential: an outer loop over a body of random ALU
+// ops, multiplies (single-slot unit, long latency), mixed-size loads and
+// stores over a shared array (store-forwarding hits, partial overlaps,
+// and drained-store cache probes), and forward conditional branches whose
+// direction depends on computed data. Every structural hazard the timing
+// core models shows up: ROB/RS/LSQ occupancy wraps, full booking runs,
+// port contention, and mispredict redirects.
+func genTimingProgram(rng *rand.Rand, bodyInsts, outerIters int) string {
+	var b strings.Builder
+	b.WriteString(".data\n.align 8\narr: .space 2048\n")
+	b.WriteString(".text\n.entry main\nmain:\n")
+	b.WriteString("    la  r10, arr\n")
+	fmt.Fprintf(&b, "    li  r9, %d\n", outerIters)
+	b.WriteString("outer:\n")
+
+	reg := func() int { return 1 + rng.Intn(8) } // r1..r8
+	skip := 0                                    // pending forward-branch distance
+	for i := 0; i < bodyInsts; i++ {
+		fmt.Fprintf(&b, "L%d:\n", i)
+		if skip > 0 {
+			skip--
+		}
+		switch k := rng.Intn(100); {
+		case k < 30: // ALU, immediate form
+			ops := []string{"addq", "subq", "and", "xor", "bis", "sll", "srl"}
+			op := ops[rng.Intn(len(ops))]
+			imm := rng.Intn(16)
+			if op == "sll" || op == "srl" {
+				imm = rng.Intn(8)
+			}
+			fmt.Fprintf(&b, "    %s r%d, #%d, r%d\n", op, reg(), imm, reg())
+		case k < 45: // ALU, register form
+			ops := []string{"addq", "subq", "xor", "cmplt"}
+			fmt.Fprintf(&b, "    %s r%d, r%d, r%d\n", ops[rng.Intn(len(ops))], reg(), reg(), reg())
+		case k < 52: // multiply: the limit-1 booking with long latency
+			fmt.Fprintf(&b, "    mulq r%d, r%d, r%d\n", reg(), reg(), reg())
+		case k < 70: // load, mixed sizes
+			ops := []string{"ldq", "ldl", "ldw", "ldbu"}
+			op := ops[rng.Intn(len(ops))]
+			fmt.Fprintf(&b, "    %s r%d, %d(r10)\n", op, reg(), rng.Intn(256)*8)
+		case k < 88: // store, mixed sizes: partial overlaps against loads
+			ops := []string{"stq", "stl", "stw", "stb"}
+			op := ops[rng.Intn(len(ops))]
+			fmt.Fprintf(&b, "    %s r%d, %d(r10)\n", op, reg(), rng.Intn(256)*8)
+		case k < 96 && skip == 0 && i+5 < bodyInsts: // forward branch
+			ops := []string{"bne", "beq", "blt", "bge"}
+			skip = 1 + rng.Intn(4)
+			fmt.Fprintf(&b, "    %s r%d, L%d\n", ops[rng.Intn(len(ops))], reg(), i+skip)
+		default:
+			fmt.Fprintf(&b, "    addq r%d, #1, r%d\n", reg(), reg())
+		}
+	}
+	fmt.Fprintf(&b, "L%d:\n", bodyInsts)
+	b.WriteString("    subq r9, #1, r9\n")
+	b.WriteString("    bne r9, outer\n")
+	b.WriteString("    halt\n")
+	return b.String()
+}
+
+// timingSurface is everything the differential compares: the full pipeline
+// statistics (cycle count included), the memory-system statistics (a
+// store-queue divergence would change D-cache probe counts), predictor
+// state, and the architectural stopping point.
+type timingSurface struct {
+	Pipe pipeline.Stats
+	Mem  MemStats
+	PC   uint64
+	Regs [32]uint64
+}
+
+func surfaceOf(m *Machine) timingSurface {
+	var s timingSurface
+	s.Pipe = m.Core.Stats()
+	s.Mem = m.MemStats()
+	s.PC = m.Core.PC()
+	copy(s.Regs[:], m.Core.Regs[:])
+	return s
+}
+
+// runTimingPair loads the same program into an event-edge machine and a
+// LinearTiming reference machine, applies identical hooks, runs both to
+// completion, and returns the two surfaces.
+func runTimingPair(t *testing.T, cfg Config, src string, hooks func(*Machine)) (ev, lin timingSurface) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	run := func(linear bool) timingSurface {
+		c := cfg
+		c.Core.LinearTiming = linear
+		m := New(c)
+		m.Load(p)
+		if hooks != nil {
+			hooks(m)
+		}
+		if _, err := m.Run(0); err != nil {
+			t.Fatalf("run (linear=%v): %v", linear, err)
+		}
+		return surfaceOf(m)
+	}
+	return run(false), run(true)
+}
+
+// TestTimingEventEdgeMatchesLinearReference is the tentpole's differential
+// property test: ≥4000-op random uop streams must produce bit-identical
+// cycle counts, statistics, memory-system behavior, and architectural
+// state through the event-edge timing path and the retained linear
+// reference, across every machine preset.
+func TestTimingEventEdgeMatchesLinearReference(t *testing.T) {
+	for _, preset := range Presets() {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", preset, seed), func(t *testing.T) {
+				cfg, ok := PresetConfig(preset)
+				if !ok {
+					t.Fatalf("no preset %q", preset)
+				}
+				rng := rand.New(rand.NewSource(0x71e<<8 + seed))
+				src := genTimingProgram(rng, 1600, 3)
+				ev, lin := runTimingPair(t, cfg, src, nil)
+				if ev != lin {
+					t.Fatalf("event-edge and linear timing diverged:\n event %+v\nlinear %+v", ev, lin)
+				}
+				if ev.Pipe.AppInsts < 4000 {
+					t.Fatalf("stream too short: %d committed app instructions, want >= 4000", ev.Pipe.AppInsts)
+				}
+				if !ev.Pipe.Halted {
+					t.Fatal("program did not halt")
+				}
+			})
+		}
+	}
+}
+
+// TestTimingDifferentialUnderTrapStalls adds the debugger's signature
+// perturbation: periodic long store stalls (the §5 debugger-transition
+// cost) that fully book thousands of commit cycles and push the booking
+// edges far ahead of the dispatch stream. The event-edge path must keep
+// matching the linear reference through the stall vaults — this is the
+// regime the known-full interval and maxBooked were built for.
+func TestTimingDifferentialUnderTrapStalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xed9e))
+	src := genTimingProgram(rng, 1600, 3)
+	cfg := DefaultConfig()
+	stallHooks := func(m *Machine) {
+		var stores uint64
+		m.Core.Hooks.OnStore = func(*pipeline.StoreEvent) uint64 {
+			if stores++; stores%64 == 0 {
+				return 5000 // long debugger-transition stall
+			}
+			return 0
+		}
+	}
+	ev, lin := runTimingPair(t, cfg, src, stallHooks)
+	if ev != lin {
+		t.Fatalf("event-edge and linear timing diverged under trap stalls:\n event %+v\nlinear %+v", ev, lin)
+	}
+	if ev.Pipe.TrapStallCycles == 0 {
+		t.Fatal("no trap stalls charged — the perturbation never fired")
+	}
+	if ev.Pipe.AppInsts < 4000 {
+		t.Fatalf("stream too short: %d committed app instructions, want >= 4000", ev.Pipe.AppInsts)
+	}
+}

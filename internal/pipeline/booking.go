@@ -8,16 +8,31 @@ package pipeline
 // book used to probe linearly from the caller's earliest cycle, which
 // meant that a run of thousands of fully-booked cycles — e.g. the commit
 // slots charged across a long debugger-transition stall — was re-walked by
-// every subsequent request starting below it. The booking now maintains a
-// free-cycle cursor in the form of a known-full interval [fullLo, fullHi):
-// every cycle in it has reached the slot limit, and since per-cycle counts
-// only ever grow, a probe landing inside the interval can jump straight to
-// fullHi. The interval is extended or re-anchored by each probe, so
-// repeated requests behind a long full run cost O(1) instead of O(run).
+// every subsequent request starting below it. The booking now keeps two
+// event edges between which per-cycle state cannot change:
+//
+//   - a known-full interval [fullLo, fullHi): every cycle in it has
+//     reached the slot limit, and since per-cycle counts only ever grow, a
+//     probe landing inside the interval jumps straight to fullHi instead
+//     of re-walking the run;
+//   - a next-free edge maxBooked: the highest cycle holding any booking,
+//     so every cycle beyond it is known empty and a request arriving past
+//     the edge reserves its own cycle with one ring store and no probe at
+//     all — the common shape for commit slots on a dependence chain, where
+//     each uop's earliest cycle is strictly past the previous one's.
+//
+// bookRef is the retained linear reference: same reservation semantics,
+// no edges consulted or maintained. The differential property tests run
+// both against identical request streams; they must return identical
+// cycles and leave identical cycle/count rings behind.
 type booking struct {
 	cycle []uint64
 	count []uint16
 	limit uint16
+
+	// linear routes book through bookRef (Config.LinearTiming): the
+	// reference core must never consult an edge.
+	linear bool
 
 	// fullLo/fullHi bound the known-full interval: every cycle in
 	// [fullLo, fullHi) holds limit bookings. Empty when fullLo >= fullHi.
@@ -25,14 +40,22 @@ type booking struct {
 	// as long as concurrently probed cycles stay within one ring span
 	// (1<<14 cycles) — the same aliasing assumption the ring itself makes.
 	fullLo, fullHi uint64
+
+	// maxBooked is the next-free edge: no cycle above it holds a booking.
+	// It never decreases, and unlike the ring slots it does not alias, so
+	// the snapshot must carry it (state.go) — it is not reconstructible
+	// from the ring, whose entry at maxBooked may have been overwritten by
+	// a later reservation at a lower aliasing cycle.
+	maxBooked uint64
 }
 
-func newBooking(limit int) *booking {
+func newBooking(limit int, linear bool) *booking {
 	const ringSize = 1 << 14
 	return &booking{
-		cycle: make([]uint64, ringSize),
-		count: make([]uint16, ringSize),
-		limit: uint16(limit),
+		cycle:  make([]uint64, ringSize),
+		count:  make([]uint16, ringSize),
+		limit:  uint16(limit),
+		linear: linear,
 	}
 }
 
@@ -46,6 +69,23 @@ func newBooking(limit int) *booking {
 // full either by probing or by the interval, so the merge below stays
 // sound.
 func (b *booking) book(earliest uint64) uint64 {
+	if b.linear {
+		return b.bookRef(earliest)
+	}
+	if earliest > b.maxBooked {
+		// Past the next-free edge: every cycle from earliest on is empty,
+		// so the request reserves its own cycle without probing. The slot
+		// cannot hold a stale alias of cycle `earliest` either — that would
+		// mean a prior booking at this very cycle, contradicting the edge.
+		b.maxBooked = earliest
+		i := earliest & uint64(len(b.cycle)-1)
+		b.cycle[i] = earliest
+		b.count[i] = 1
+		if b.limit == 1 {
+			b.noteFull(earliest, earliest+1)
+		}
+		return earliest
+	}
 	if b.limit == 1 {
 		return b.book1(earliest)
 	}
@@ -70,6 +110,9 @@ func (b *booking) book(earliest uint64) uint64 {
 	}
 	b.cycle[i] = c
 	b.count[i] = n + 1
+	if c > b.maxBooked {
+		b.maxBooked = c
+	}
 	// [start, c) was just probed full; c itself may have filled up too.
 	end := c
 	if n+1 >= b.limit {
@@ -101,8 +144,35 @@ func (b *booking) book1(earliest uint64) uint64 {
 	}
 	b.cycle[i] = c
 	b.count[i] = 1 // keep the count coherent for inspection
+	if c > b.maxBooked {
+		b.maxBooked = c
+	}
 	b.noteFull(start, c+1)
 	return c
+}
+
+// bookRef is the retained linear-reference reservation: probe upward from
+// earliest one cycle at a time, consulting nothing but the ring itself.
+// It must leave the cycle/count ring bit-identical to what book leaves
+// for the same request stream — the differential property tests and the
+// LinearTiming cores depend on it. The edge fields are neither read nor
+// written, so a reference core carries them at their zero values.
+func (b *booking) bookRef(earliest uint64) uint64 {
+	c := earliest
+	mask := uint64(len(b.cycle) - 1)
+	for {
+		i := c & mask
+		if b.cycle[i] != c {
+			b.cycle[i] = c
+			b.count[i] = 1
+			return c
+		}
+		if n := b.count[i]; n < b.limit {
+			b.count[i] = n + 1
+			return c
+		}
+		c++
+	}
 }
 
 // noteFull records that every cycle in [start, end) is fully booked,
@@ -134,6 +204,7 @@ func (b *booking) reset() {
 	clear(b.cycle)
 	clear(b.count)
 	b.fullLo, b.fullHi = 0, 0
+	b.maxBooked = 0
 }
 
 // ring is a fixed-size history of cycle timestamps, used to model
@@ -145,6 +216,15 @@ type ring struct {
 	head int // index of the oldest entry once full
 	tail int // index of the next write while filling
 	n    int
+
+	// edge is the occupancy event edge this ring imposes on dispatch: the
+	// first cycle the oldest occupant's slot is free again (oldest()+1)
+	// once the structure is full, 0 while it is still filling. push keeps
+	// it current, so Core.time reads one word instead of re-deriving
+	// fullness and the head entry per uop. It is a pure function of
+	// (buf, head, n), so restore reconstructs it instead of serializing
+	// it (state.go).
+	edge uint64
 }
 
 func newRing(size int) *ring {
@@ -163,6 +243,9 @@ func (r *ring) push(release uint64) (prevRelease uint64) {
 			r.tail = 0
 		}
 		r.n++
+		if r.n == len(r.buf) {
+			r.edge = r.buf[r.head] + 1
+		}
 		return 0
 	}
 	prev := r.buf[r.head]
@@ -171,10 +254,13 @@ func (r *ring) push(release uint64) (prevRelease uint64) {
 	if r.head == len(r.buf) {
 		r.head = 0
 	}
+	r.edge = r.buf[r.head] + 1
 	return prev
 }
 
-// oldest returns the oldest release time without modifying the ring.
+// oldest returns the oldest release time without modifying the ring. The
+// LinearTiming reference path reads occupancy through it; the event-edge
+// path reads the precomputed edge instead.
 func (r *ring) oldest() (uint64, bool) {
 	if r.n < len(r.buf) {
 		return 0, false
@@ -186,4 +272,5 @@ func (r *ring) oldest() (uint64, bool) {
 func (r *ring) reset() {
 	clear(r.buf)
 	r.head, r.tail, r.n = 0, 0, 0
+	r.edge = 0
 }

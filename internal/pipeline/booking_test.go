@@ -52,15 +52,20 @@ func (b *refBooking) book(earliest uint64) uint64 {
 	return c
 }
 
-// TestBookingMatchesReference drives the cursor booking and the linear
-// reference with identical pseudo-random request streams — including the
-// mostly-monotonic-with-jitter pattern the pipeline produces and abrupt
-// forward jumps like debugger-transition stalls — and requires bit-equal
-// results.
+// TestBookingMatchesReference drives the event-edge booking, the package's
+// retained linear path (a LinearTiming booking routing through bookRef),
+// and this test's independent reference with identical pseudo-random
+// request streams — including the mostly-monotonic-with-jitter pattern the
+// pipeline produces and abrupt forward jumps like debugger-transition
+// stalls — and requires bit-equal results. Afterwards the event-edge and
+// linear bookings must hold bit-identical cycle/count rings: the snapshot
+// encoding copies them raw, so a divergence here would break the
+// round-trip contract even with equal returned cycles.
 func TestBookingMatchesReference(t *testing.T) {
 	for _, limit := range []int{1, 2, 4} {
 		rng := rand.New(rand.NewSource(int64(42 + limit)))
-		b := newBooking(limit)
+		b := newBooking(limit, false)
+		lin := newBooking(limit, true)
 		ref := newRefBooking(limit)
 		base := uint64(1)
 		for i := 0; i < 200_000; i++ {
@@ -80,6 +85,16 @@ func TestBookingMatchesReference(t *testing.T) {
 				t.Fatalf("limit=%d step=%d book(%d) = %d, reference = %d",
 					limit, i, earliest, got, want)
 			}
+			if lg := lin.book(earliest); lg != want {
+				t.Fatalf("limit=%d step=%d linear book(%d) = %d, reference = %d",
+					limit, i, earliest, lg, want)
+			}
+		}
+		for i := range b.cycle {
+			if b.cycle[i] != lin.cycle[i] || b.count[i] != lin.count[i] {
+				t.Fatalf("limit=%d ring slot %d diverged: event (%d,%d) vs linear (%d,%d)",
+					limit, i, b.cycle[i], b.count[i], lin.cycle[i], lin.count[i])
+			}
 		}
 	}
 }
@@ -89,7 +104,7 @@ func TestBookingMatchesReference(t *testing.T) {
 // are non-decreasing, and a booked cycle is never before its request.
 func TestBookingCursorMonotonic(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	b := newBooking(2)
+	b := newBooking(2, false)
 	earliest := uint64(1)
 	last := uint64(0)
 	for i := 0; i < 100_000; i++ {
@@ -109,7 +124,7 @@ func TestBookingCursorMonotonic(t *testing.T) {
 // fully-booked run, a request behind the run must land just past it (the
 // correctness half; the O(1) probe is what the profile shows).
 func TestBookingSkipsFullRun(t *testing.T) {
-	b := newBooking(1)
+	b := newBooking(1, false)
 	for c := uint64(100); c < 3100; c++ {
 		if got := b.book(100); got != c {
 			t.Fatalf("book(100) = %d, want %d", got, c)
@@ -156,6 +171,45 @@ func TestRingWrapNonPowerOfTwo(t *testing.T) {
 					size, i, v, gotPrev, wantPrev)
 			}
 		}
+	}
+}
+
+// BenchmarkBooking measures the two reservation shapes the timing core
+// produces, for both the event-edge path and the linear reference
+// (informational in scripts/bench_smoke.sh):
+//
+//   - chain: mostly-monotonic earliest cycles, the common dispatch
+//     stream — both paths are O(1), the edge path via maxBooked;
+//   - stall-vault: probes from below a multi-thousand-cycle fully-booked
+//     run (a debugger-transition stall), where the known-full interval
+//     makes the event path O(1) while the reference re-walks the run.
+func BenchmarkBooking(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		linear bool
+	}{{"event", false}, {"linear", true}} {
+		b.Run("chain/"+mode.name, func(b *testing.B) {
+			bk := newBooking(4, mode.linear)
+			for i := 0; i < b.N; i++ {
+				bk.book(uint64(i))
+			}
+		})
+		b.Run("stall-vault/"+mode.name, func(b *testing.B) {
+			const run = 4096 // rebooked per batch; well under one ring span
+			bk := newBooking(1, mode.linear)
+			base := uint64(1)
+			for i := 0; i < b.N; i++ {
+				if i%1024 == 0 {
+					// Re-establish the fully-booked stall run (amortized
+					// across the batch; each probe below extends it by one).
+					bk.reset()
+					for c := base; c < base+run; c++ {
+						bk.book(c)
+					}
+				}
+				bk.book(base)
+			}
+		})
 	}
 }
 

@@ -21,11 +21,21 @@
 // address bounds so the common searches — empty queue, fully drained
 // queue, or a disjoint load — cost O(1) (see storeRec in core.go).
 //
-// Bandwidth-limited resources (fetch, dispatch, commit slots, function
-// units, load ports) are modeled by per-cycle bookings with a free-cycle
-// cursor, so long fully-booked runs — e.g. commit slots across a
-// debugger-transition stall — are skipped rather than re-probed (see
-// booking.go).
+// Timing-core scheduling is event-edge driven: instead of re-deriving
+// per-resource state for every uop, each resource maintains the next
+// cycle at which its state can change and the hot path consults those
+// edges. Bandwidth-limited resources (fetch, dispatch, commit slots,
+// function units, load ports) keep a known-full interval and a next-free
+// edge, so long fully-booked runs — e.g. commit slots across a
+// debugger-transition stall — are vaulted and reservations past all
+// existing bookings cost O(1) (see booking.go); the ROB/RS/LSQ occupancy
+// rings precompute their dispatch edge at push time; the store queue
+// exposes a next-drain edge (storeQMaxCommit) and an occupancy count
+// that bound its search; and the fetch path keeps line- and
+// page-granular refill windows (lastFetchLine, the predecoder MRU
+// window). Config.LinearTiming retains the linear reference paths; the
+// differential property tests prove both produce bit-identical cycles
+// and statistics.
 package pipeline
 
 import (
@@ -57,6 +67,15 @@ type Config struct {
 
 	// MaxUops bounds a run as a safety net against runaway programs.
 	MaxUops uint64
+
+	// LinearTiming selects the retained linear-reference timing paths:
+	// bookings probe cycle by cycle, structure occupancy re-reads the ring
+	// heads, and store-queue searches scan every entry, with none of the
+	// event edges consulted or maintained. Cycle counts and Stats are
+	// bit-identical to the default event-edge scheduling — the
+	// differential property tests assert exactly that — so the only reason
+	// to set it is as the oracle in those tests.
+	LinearTiming bool
 }
 
 // DefaultConfig returns the paper's core configuration.

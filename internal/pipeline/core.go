@@ -59,6 +59,19 @@ type Core struct {
 	rsRing  *ring
 	lsqRing *ring
 
+	// structEdge aggregates the ROB and RS occupancy edges (every uop is
+	// constrained by both, so time reads their max as one word); the LSQ
+	// edge stays separate because only memory ops consult it. It is a
+	// pure function of the two rings — maintained at the shared ring-push
+	// site in both timing modes, read only by the event-edge path, and
+	// reconstructed rather than serialized on restore.
+	structEdge uint64
+
+	// linear selects the retained linear-reference timing paths
+	// (Config.LinearTiming): ring occupancy via oldest(), store-queue
+	// search via full scan, bookings via bookRef.
+	linear bool
+
 	appReady  [isa.NumRegs]uint64
 	diseReady [isa.NumDiseRegs]uint64
 
@@ -122,12 +135,13 @@ func New(cfg Config, m *mem.Memory, hier *cache.Hierarchy, bp *bpred.Predictor, 
 		Hier:         hier,
 		BP:           bp,
 		Engine:       eng,
-		fetchBook:    newBooking(cfg.Width),
-		dispatchBook: newBooking(cfg.Width),
-		commitBook:   newBooking(cfg.Width),
-		aluBook:      newBooking(cfg.IntALUs),
-		mulBook:      newBooking(cfg.IntMuls),
-		loadBook:     newBooking(cfg.LoadPorts),
+		linear:       cfg.LinearTiming,
+		fetchBook:    newBooking(cfg.Width, cfg.LinearTiming),
+		dispatchBook: newBooking(cfg.Width, cfg.LinearTiming),
+		commitBook:   newBooking(cfg.Width, cfg.LinearTiming),
+		aluBook:      newBooking(cfg.IntALUs, cfg.LinearTiming),
+		mulBook:      newBooking(cfg.IntMuls, cfg.LinearTiming),
+		loadBook:     newBooking(cfg.LoadPorts, cfg.LinearTiming),
 		robRing:      newRing(cfg.ROBSize),
 		rsRing:       newRing(cfg.RSSize),
 		lsqRing:      newRing(cfg.LSQSize),
@@ -189,6 +203,7 @@ func (c *Core) Reset() {
 	c.robRing.reset()
 	c.rsRing.reset()
 	c.lsqRing.reset()
+	c.structEdge = 0
 	c.appReady = [isa.NumRegs]uint64{}
 	c.diseReady = [isa.NumDiseRegs]uint64{}
 	clear(c.storeQ)
@@ -571,18 +586,30 @@ func (c *Core) execDise(inst *isa.Inst, pc uint64, dpc int, ev *execResult) {
 func (c *Core) time(inst *isa.Inst, ev *execResult, fetchAt uint64, inDise, inFunc bool) {
 	arrival := fetchAt + uint64(c.cfg.FrontEndDepth)
 
-	// Structure occupancy: ROB, RS, and (for memory ops) LSQ.
+	// Structure occupancy: ROB, RS, and (for memory ops) LSQ. The
+	// event-edge path reads the precomputed occupancy edges (the rings
+	// update them at push time); the linear reference re-derives fullness
+	// and the oldest release from the rings every uop.
 	earliest := arrival
-	if t, full := c.robRing.oldest(); full && t+1 > earliest {
-		earliest = t + 1
-	}
-	if t, full := c.rsRing.oldest(); full && t+1 > earliest {
-		earliest = t + 1
-	}
 	isMem := ev.isLoad || ev.isStore
-	if isMem {
-		if t, full := c.lsqRing.oldest(); full && t+1 > earliest {
+	if c.linear {
+		if t, full := c.robRing.oldest(); full && t+1 > earliest {
 			earliest = t + 1
+		}
+		if t, full := c.rsRing.oldest(); full && t+1 > earliest {
+			earliest = t + 1
+		}
+		if isMem {
+			if t, full := c.lsqRing.oldest(); full && t+1 > earliest {
+				earliest = t + 1
+			}
+		}
+	} else {
+		if c.structEdge > earliest {
+			earliest = c.structEdge
+		}
+		if isMem && c.lsqRing.edge > earliest {
+			earliest = c.lsqRing.edge
 		}
 	}
 	if earliest < c.lastDispatch {
@@ -651,9 +678,15 @@ func (c *Core) time(inst *isa.Inst, ev *execResult, fetchAt uint64, inDise, inFu
 	commitAt := c.commitBook.book(commitEarliest)
 	c.lastCommit = commitAt
 
-	// Structure releases.
+	// Structure releases. The pushes refresh each ring's own edge; fold
+	// the ROB/RS pair into the aggregate the next uop will read.
 	c.robRing.push(commitAt)
 	c.rsRing.push(issueAt + 1)
+	if se := c.rsRing.edge; se > c.robRing.edge {
+		c.structEdge = se
+	} else {
+		c.structEdge = c.robRing.edge
+	}
 	if isMem {
 		c.lsqRing.push(commitAt)
 	}
@@ -757,10 +790,15 @@ func (c *Core) advance(ev *execResult, pc uint64, dpc int) {
 // commit cycle so the caller can re-check forwarding against the load's
 // actual (port-booked) issue cycle. The common cases — no live stores,
 // every store drained, or a load disjoint from all of them — are
-// answered by the occupancy counter and address bounds without touching
-// the queue; only genuinely ambiguous loads scan, newest-to-oldest, with
-// a modulo- and bounds-free loop body.
+// answered by the occupancy counter, the next-drain edge
+// (storeQMaxCommit), and the address bounds without touching the queue;
+// only genuinely ambiguous loads scan, newest-to-oldest, with a modulo-
+// and bounds-free loop body that stops once every live entry has been
+// seen instead of walking the dead tail of the queue.
 func (c *Core) searchStoreQ(addr uint64, size int, now uint64) (forward bool, ready, fwdCommit uint64) {
+	if c.linear {
+		return c.searchStoreQRef(addr, size, now)
+	}
 	if c.storeQLive == 0 {
 		return false, 0, 0
 	}
@@ -793,7 +831,8 @@ func (c *Core) searchStoreQ(addr uint64, size int, now uint64) (forward bool, re
 		return false, 0, 0
 	}
 	idx := c.storeQHead
-	for i := 0; i < len(c.storeQ); i++ {
+	live := c.storeQLive
+	for i := 0; i < len(c.storeQ) && live > 0; i++ {
 		if idx == 0 {
 			idx = len(c.storeQ)
 		}
@@ -802,6 +841,7 @@ func (c *Core) searchStoreQ(addr uint64, size int, now uint64) (forward bool, re
 		if s.gen != c.storeQGen {
 			continue
 		}
+		live--
 		if s.commit < now {
 			// Drained before this load issues: no forwarding. Reclaim the
 			// entry only once no future load can want it either.
@@ -824,6 +864,41 @@ func (c *Core) searchStoreQ(addr uint64, size int, now uint64) (forward bool, re
 		}
 		// Partial overlap: the queue cannot stitch the bytes together, so
 		// the load waits for the drain and then reads the cache.
+		return false, s.commit, s.commit
+	}
+	return false, 0, 0
+}
+
+// searchStoreQRef is the retained linear-reference store-queue search:
+// a full newest-to-oldest scan that consults neither the occupancy
+// counter, the next-drain edge, nor the address bounds, and retires
+// nothing. It must answer exactly like searchStoreQ. The equivalence
+// argument for the missing retirement: searchStoreQ only ever kills
+// entries whose commit is at or before lastDispatch, and every future
+// load issues strictly after its own dispatch cycle — so any entry the
+// event path has retired fails this scan's `commit < now` liveness test
+// anyway. Entries overwritten in place by pushStoreQ are equally dead in
+// both paths: the LSQ ring forces the overwriting store's dispatch past
+// the old entry's commit.
+func (c *Core) searchStoreQRef(addr uint64, size int, now uint64) (forward bool, ready, fwdCommit uint64) {
+	end := addr + uint64(size)
+	idx := c.storeQHead
+	for i := 0; i < len(c.storeQ); i++ {
+		if idx == 0 {
+			idx = len(c.storeQ)
+		}
+		idx--
+		s := &c.storeQ[idx]
+		if s.gen != c.storeQGen || s.commit < now {
+			continue
+		}
+		sEnd := s.addr + uint64(s.size)
+		if addr >= sEnd || end <= s.addr {
+			continue
+		}
+		if addr >= s.addr && end <= sEnd {
+			return true, s.dataDone, s.commit
+		}
 		return false, s.commit, s.commit
 	}
 	return false, 0, 0

@@ -44,6 +44,17 @@ type predecoder struct {
 	lastPN   uint64
 	lastPage *decodedPage
 
+	// The MRU as a refill window: fetches inside [winBase,
+	// winBase+PageSize) index win directly, so the hot path is one
+	// subtraction and compare against the window's refill edge instead of
+	// a page-number computation and a pointer/tag pair check. win/winBase
+	// shadow lastPage/lastPN exactly: winBase is the MRU page's base when
+	// the MRU is valid and noWindow otherwise, which no fetchable pc can
+	// fall within. Reconstructible from the MRU, so snapshots don't carry
+	// it.
+	win     *[instsPerPage]isa.Inst
+	winBase uint64
+
 	// [loPN, hiPN] bounds every page ever cached, so the write hook can
 	// dismiss data-segment and stack stores with two compares instead of
 	// a map probe per store.
@@ -55,6 +66,10 @@ type predecoder struct {
 	invalidations uint64 // pages dropped because a store touched them
 }
 
+// noWindow poisons winBase so that pc-winBase overflows past PageSize for
+// every realizable pc (text addresses stay far below 1<<63).
+const noWindow = uint64(1) << 63
+
 func newPredecoder(m *mem.Memory, maxPages int) *predecoder {
 	if maxPages <= 0 {
 		maxPages = defaultPredecodePages
@@ -65,16 +80,17 @@ func newPredecoder(m *mem.Memory, maxPages int) *predecoder {
 		maxPages: maxPages,
 		loPN:     1,
 		hiPN:     0,
+		winBase:  noWindow,
 	}
 }
 
-// fetch returns the decoded instruction at pc.
+// fetch returns the decoded instruction at pc. An aligned pc inside the
+// refill window is served with one index; everything else — a window
+// miss, an invalidated window, a misaligned pc — takes the slow path.
 func (d *predecoder) fetch(pc uint64) isa.Inst {
-	if pc&3 == 0 {
-		if pn := mem.PageOf(pc); d.lastPage != nil && pn == d.lastPN {
-			d.hits++
-			return d.lastPage.insts[(pc&(mem.PageSize-1))>>2]
-		}
+	if off := pc - d.winBase; off < mem.PageSize && pc&3 == 0 {
+		d.hits++
+		return d.win[off>>2]
 	}
 	return d.fetchSlow(pc)
 }
@@ -114,6 +130,7 @@ func (d *predecoder) fetchSlow(pc uint64) isa.Inst {
 	}
 	pg.lastUse = d.clock
 	d.lastPN, d.lastPage = pn, pg
+	d.win, d.winBase = &pg.insts, mem.PageBase(pc)
 	return pg.insts[(pc&(mem.PageSize-1))>>2]
 }
 
@@ -136,6 +153,7 @@ func (d *predecoder) evictLRU() {
 	d.evictions++
 	if d.lastPage != nil && d.lastPN == victim {
 		d.lastPage = nil
+		d.win, d.winBase = nil, noWindow
 	}
 }
 
@@ -147,6 +165,7 @@ func (d *predecoder) reset() {
 	d.pages = make(map[uint64]*decodedPage)
 	d.clock = 0
 	d.lastPN, d.lastPage = 0, nil
+	d.win, d.winBase = nil, noWindow
 	d.loPN, d.hiPN = 1, 0
 	d.hits, d.decodes, d.evictions, d.invalidations = 0, 0, 0, 0
 }
@@ -172,6 +191,7 @@ func (d *predecoder) invalidate(loPN, hiPN uint64) {
 		}
 		if d.lastPage != nil && d.lastPN == pn {
 			d.lastPage = nil
+			d.win, d.winBase = nil, noWindow
 		}
 	}
 }

@@ -11,6 +11,22 @@
 // predecoder is captured as metadata only (which pages, LRU stamps);
 // Restore re-decodes the instructions from the restored memory, which the
 // invalidation hook guarantees is equivalent to what was cached.
+//
+// Event edges (the next-cycle-anything-changes values the timing core
+// consults instead of re-deriving per-resource state) are either carried
+// or provably reconstructible, so a restored core skips exactly like the
+// donor would have:
+//
+//   - booking.maxBooked is serialized: a later reservation at a lower
+//     cycle can alias over the ring entry that held the maximum, so the
+//     ring alone under-reconstructs it;
+//   - ring.edge is recomputed from (buf, head, n) — push maintains it as
+//     exactly buf[head]+1 when full, 0 otherwise;
+//   - Core.structEdge is recomputed as the max of the restored ROB/RS
+//     ring edges, which is precisely how the push site maintains it;
+//   - the store queue's drain edge (storeQMaxCommit) was already part of
+//     the captured surface, and the predecoder's refill window shadows
+//     the MRU page, which predState carries.
 package pipeline
 
 import (
@@ -25,14 +41,16 @@ type bookingState struct {
 	cycle          []uint64
 	count          []uint16
 	fullLo, fullHi uint64
+	maxBooked      uint64
 }
 
 func (b *booking) snapshot() bookingState {
 	return bookingState{
-		cycle:  append([]uint64(nil), b.cycle...),
-		count:  append([]uint16(nil), b.count...),
-		fullLo: b.fullLo,
-		fullHi: b.fullHi,
+		cycle:     append([]uint64(nil), b.cycle...),
+		count:     append([]uint16(nil), b.count...),
+		fullLo:    b.fullLo,
+		fullHi:    b.fullHi,
+		maxBooked: b.maxBooked,
 	}
 }
 
@@ -43,6 +61,7 @@ func (b *booking) restore(st *bookingState) {
 	copy(b.cycle, st.cycle)
 	copy(b.count, st.count)
 	b.fullLo, b.fullHi = st.fullLo, st.fullHi
+	b.maxBooked = st.maxBooked
 }
 
 type ringState struct {
@@ -65,6 +84,13 @@ func (r *ring) restore(st *ringState) {
 	}
 	copy(r.buf, st.buf)
 	r.head, r.tail, r.n = st.head, st.tail, st.n
+	// Reconstruct the occupancy edge: push keeps it at exactly
+	// buf[head]+1 once the structure is full and 0 while it fills.
+	if r.n == len(r.buf) {
+		r.edge = r.buf[r.head] + 1
+	} else {
+		r.edge = 0
+	}
 }
 
 type predPageState struct {
@@ -131,8 +157,10 @@ func (d *predecoder) restore(st *predState) {
 	d.lastPN = st.lastPN
 	if st.lastValid {
 		d.lastPage = d.pages[st.lastPN]
+		d.win, d.winBase = &d.lastPage.insts, st.lastPN*mem.PageSize
 	} else {
 		d.lastPage = nil
+		d.win, d.winBase = nil, noWindow
 	}
 	d.loPN, d.hiPN = st.loPN, st.hiPN
 	d.hits, d.decodes = st.hits, st.decodes
@@ -286,6 +314,13 @@ func (c *Core) Restore(st *State) {
 	c.robRing.restore(&st.robRing)
 	c.rsRing.restore(&st.rsRing)
 	c.lsqRing.restore(&st.lsqRing)
+	// Reconstruct the dispatch-edge aggregate the same way the push site
+	// maintains it.
+	if se := c.rsRing.edge; se > c.robRing.edge {
+		c.structEdge = se
+	} else {
+		c.structEdge = c.robRing.edge
+	}
 
 	c.appReady = st.appReady
 	c.diseReady = st.diseReady
@@ -405,6 +440,7 @@ func appendBooking(dst []byte, b *bookingState) []byte {
 	}
 	dst = binary.LittleEndian.AppendUint64(dst, b.fullLo)
 	dst = binary.LittleEndian.AppendUint64(dst, b.fullHi)
+	dst = binary.LittleEndian.AppendUint64(dst, b.maxBooked)
 	return dst
 }
 

@@ -94,8 +94,13 @@ type Request struct {
 	Budget uint64 `json:"budget,omitempty"`
 	Count  uint64 `json:"count,omitempty"`
 
-	// subscribe: per-subscription buffer depth (0 = server default).
-	Depth int `json:"depth,omitempty"`
+	// subscribe: per-subscription buffer depth (0 = server default), and
+	// the lossless backpressure mode — instead of severing the connection
+	// when it falls behind, the session pauses at its next quantum
+	// boundary until the subscriber drains (tracing clients that must not
+	// lose events).
+	Depth        int  `json:"depth,omitempty"`
+	Backpressure bool `json:"backpressure,omitempty"`
 
 	// read: symbol or address of the quad to examine.
 	Addr string `json:"addr,omitempty"`
@@ -533,7 +538,13 @@ func (srv *Server) handleErr(c *protoConn, req *Request) (Response, error) {
 			// new subscribe's response.
 			prev.retire()
 		}
-		sub := s.Subscribe(req.Depth, c.sever) // slow consumers lose the connection
+		// Slow consumers lose the connection — unless they asked for
+		// backpressure, in which case their session waits for them.
+		sub := s.SubscribeWith(SubscribeOptions{
+			Depth:        req.Depth,
+			OnDrop:       c.sever,
+			Backpressure: req.Backpressure,
+		})
 		c.afterSend = func() {
 			cs := &connSub{sub: sub, quit: make(chan struct{}), done: make(chan struct{})}
 			c.setSub(id, cs)

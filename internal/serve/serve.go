@@ -104,6 +104,11 @@ type Config struct {
 	// Negative disables idle pooling entirely (every close discards the
 	// machine).
 	PoolIdle int
+	// PoolIdlePerConfig, when positive, caps how many of the PoolIdle
+	// machines any single machine configuration may hold, so one preset's
+	// churn cannot starve the others' share of the warm pool. 0 disables
+	// the quota (any configuration may fill the whole budget).
+	PoolIdlePerConfig int
 	// Machine configures pooled machines for sessions that do not bring
 	// their own configuration (default machine.DefaultConfig).
 	Machine machine.Config
@@ -235,7 +240,10 @@ type ServerStats struct {
 	Shed            uint64    `json:"shed"`           // admissions rejected by load shedding
 	Paused          uint64    `json:"paused"`         // sessions paused to make room (ShedPauseLowest)
 	SlowConsumers   uint64    `json:"slow_consumers"` // subscriptions dropped for not keeping up
-	EventsDropped   uint64    `json:"events_dropped"` // pull-queue events discarded at EventBuffer
+	// BackpressureStalls counts quantum boundaries at which a session
+	// parked because a backpressure subscriber had not drained yet.
+	BackpressureStalls uint64 `json:"backpressure_stalls"`
+	EventsDropped      uint64 `json:"events_dropped"` // pull-queue events discarded at EventBuffer
 	Faults          uint64    `json:"faults"`         // quanta that panicked
 	Recoveries      uint64    `json:"recoveries"`     // sessions rebuilt from a checkpoint
 	Runnable        int       `json:"runnable"`       // sessions admitted to run right now
@@ -263,6 +271,7 @@ type Server struct {
 	shed       uint64
 	paused     uint64
 	slow       uint64
+	bpStalls   uint64
 	evDropped  uint64
 	faults     uint64
 	recoveries uint64
@@ -283,7 +292,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	srv := &Server{
 		cfg:      cfg,
-		pools:    NewPoolSet(cfg.PoolIdle),
+		pools:    NewPoolSetQuota(cfg.PoolIdle, cfg.PoolIdlePerConfig),
 		sessions: make(map[uint64]*Session),
 	}
 	srv.cond = sync.NewCond(&srv.mu)
@@ -583,7 +592,8 @@ func (srv *Server) Stats() ServerStats {
 		Shed:            srv.shed,
 		Paused:          srv.paused,
 		SlowConsumers:   srv.slow,
-		EventsDropped:   srv.evDropped,
+		BackpressureStalls: srv.bpStalls,
+		EventsDropped:      srv.evDropped,
 		Faults:          srv.faults,
 		Recoveries:      srv.recoveries,
 		Runnable:        srv.runnable,
@@ -593,6 +603,14 @@ func (srv *Server) Stats() ServerStats {
 	st.Pool = srv.pools.Stats()
 	st.PoolConfigs = srv.pools.Configs()
 	return st
+}
+
+// noteBackpressureStall counts a session parked at a quantum boundary
+// for a lagging backpressure subscriber.
+func (srv *Server) noteBackpressureStall() {
+	srv.mu.Lock()
+	srv.bpStalls++
+	srv.mu.Unlock()
 }
 
 // noteSlowConsumer counts a dropped subscription.

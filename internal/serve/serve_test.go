@@ -289,6 +289,249 @@ func TestPoolSetConcurrentPerKey(t *testing.T) {
 	}
 }
 
+// TestPoolSetPerKeyQuota is the two-presets-contending case the quota
+// exists for: without it, one preset's churn fills the whole shared idle
+// budget and every other preset's Put drops. With a quota, the noisy
+// preset caps out at its share and the second preset still parks.
+func TestPoolSetPerKeyQuota(t *testing.T) {
+	small, ok := machine.PresetConfig("small-cache")
+	if !ok {
+		t.Fatal("no small-cache preset")
+	}
+	def := machine.DefaultConfig()
+
+	// Baseline, no quota: the default preset starves small-cache outright.
+	ps := NewPoolSet(2)
+	ps.Put(machine.New(def))
+	ps.Put(machine.New(def))
+	ps.Put(machine.New(small))
+	if got := ps.IdleOf(small); got != 0 {
+		t.Fatalf("unquota'd pool parked %d small-cache machines; starvation baseline broken", got)
+	}
+
+	// Quota of 2 over a budget of 4: default caps at 2, small still parks.
+	ps = NewPoolSetQuota(4, 2)
+	for i := 0; i < 4; i++ {
+		ps.Put(machine.New(def))
+	}
+	if got := ps.IdleOf(def); got != 2 {
+		t.Errorf("idle(default) = %d, want 2 (quota)", got)
+	}
+	ps.Put(machine.New(small))
+	ps.Put(machine.New(small))
+	if got := ps.IdleOf(small); got != 2 {
+		t.Errorf("idle(small-cache) = %d, want 2 — the quota failed to protect the second preset", got)
+	}
+	st := ps.Stats()
+	if st.QuotaDropped != 2 {
+		t.Errorf("QuotaDropped = %d, want 2", st.QuotaDropped)
+	}
+	if st.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2 (quota drops are counted in Dropped)", st.Dropped)
+	}
+
+	// Get under a key frees quota for that key again.
+	m := ps.Get(def)
+	ps.Put(m)
+	if got := ps.Stats().QuotaDropped; got != 2 {
+		t.Errorf("re-park after Get was quota-dropped: QuotaDropped = %d, want 2", got)
+	}
+
+	// And the quota holds under the concurrent interleaving the
+	// reservation map exists for: per-key idle never exceeds the quota
+	// even while Puts reset outside the lock, and no reservation leaks.
+	ps = NewPoolSetQuota(4, 1)
+	cfgs := []machine.Config{def, small}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		cfg := cfgs[g%len(cfgs)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				ps.Put(machine.New(cfg))
+				if m := ps.Get(cfg); m.Cfg != cfg {
+					t.Error("pool set returned a machine of the wrong configuration")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, cfg := range cfgs {
+		ps.Put(machine.New(cfg))
+		ps.Put(machine.New(cfg))
+		if got := ps.IdleOf(cfg); got != 1 {
+			t.Errorf("idle after refill = %d, want exactly the quota of 1 (reservation leak?)", got)
+		}
+	}
+}
+
+// bpProg is countdownProg with a long spin tail: ten watched stores
+// (each a user transition), then ~4000 instructions of computation so
+// quanta expire mid-run while a lagging subscriber still holds backlog.
+const bpProg = `
+.data
+.align 8
+v: .quad 0
+.text
+.entry main
+main:
+    la  r1, v
+    li  r2, 10
+loop:
+.stmt
+    stq r2, 0(r1)
+    subq r2, #1, r2
+    bne r2, loop
+    li  r3, 2000
+spin:
+    subq r3, #1, r3
+    bne r3, spin
+    halt
+`
+
+// TestSubscribeBackpressure is the lossless-tracing contract: a
+// backpressure subscriber with a depth-1 buffer that reads nothing while
+// the session runs must never be severed; instead the session parks at a
+// quantum boundary (surfaced in ServerStats.BackpressureStalls) until
+// the subscriber drains, and every event — all ten watch fires in store
+// order, then the halt — is delivered exactly once.
+func TestSubscribeBackpressure(t *testing.T) {
+	srv := newTestServer(t, Config{Quantum: 200})
+	s, err := srv.CreateSource(bpProg, debug.DefaultOptions(debug.BackendDise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Watch(&debug.Watchpoint{
+		Name: "v", Kind: debug.WatchScalar, Addr: mustSym(t, s, "v"), Size: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sub := s.SubscribeWith(SubscribeOptions{Depth: 1, Backpressure: true})
+
+	done := make(chan State, 1)
+	go func() {
+		if err := s.Continue(0); err != nil {
+			t.Error(err)
+			done <- StateErrored
+			return
+		}
+		for {
+			st := s.Wait()
+			if st == StateIdle { // watch pause: resume
+				if err := s.Continue(0); err != nil {
+					t.Error(err)
+					done <- StateErrored
+					return
+				}
+				continue
+			}
+			done <- st
+			return
+		}
+	}()
+
+	// The session must park rather than finish: it cannot reach halt while
+	// we sit on ten undelivered events behind a depth-1 buffer.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().BackpressureStalls == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no backpressure stall recorded; session ran away from its lossless subscriber")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.State(); st != StateRunning {
+		t.Fatalf("parked session state = %v, want running (held at quantum boundary)", st)
+	}
+
+	// Drain: every watch fire in store order, then the halt.
+	var got []Event
+	for ev := range sub.Events() {
+		got = append(got, ev)
+		if ev.Kind == EventHalt {
+			break
+		}
+	}
+	if st := <-done; st != StateHalted {
+		t.Fatalf("session ended in %v, want halted (err: %v)", st, s.Err())
+	}
+	if len(got) != 11 {
+		t.Fatalf("got %d events, want 11 (10 watch + halt): %+v", len(got), got)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i].Kind != EventWatch || got[i].Value != uint64(10-i) {
+			t.Fatalf("event %d = %+v, want watch of value %d", i, got[i], 10-i)
+		}
+	}
+	if got[10].Kind != EventHalt {
+		t.Fatalf("last event = %+v, want halt", got[10])
+	}
+	if sub.Dropped() {
+		t.Error("backpressure subscription was severed")
+	}
+	if v, err := s.ReadQuad(mustSym(t, s, "v")); err != nil || v != 1 {
+		t.Errorf("v = %d (err %v), want 1", v, err)
+	}
+	if n := srv.Stats().SlowConsumers; n != 0 {
+		t.Errorf("SlowConsumers = %d, want 0 — backpressure must not count as a drop", n)
+	}
+	s.Close()
+	if _, ok := <-sub.Events(); ok {
+		t.Error("subscription channel still open after session close")
+	}
+}
+
+// TestSubscribeBackpressureCloseWhileParked: Close must tear down a
+// backpressure-parked session directly — no worker owns it — and the
+// wedged subscriber's channel must still close.
+func TestSubscribeBackpressureCloseWhileParked(t *testing.T) {
+	srv := newTestServer(t, Config{Quantum: 200})
+	s, err := srv.CreateSource(bpProg, debug.DefaultOptions(debug.BackendDise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Watch(&debug.Watchpoint{
+		Name: "v", Kind: debug.WatchScalar, Addr: mustSym(t, s, "v"), Size: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sub := s.SubscribeWith(SubscribeOptions{Depth: 1, Backpressure: true})
+	go func() {
+		if err := s.Continue(0); err != nil {
+			return
+		}
+		for s.Wait() == StateIdle {
+			if s.Continue(0) != nil {
+				return
+			}
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().BackpressureStalls == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	if st := s.Wait(); st != StateClosed {
+		t.Fatalf("state after close = %v, want closed", st)
+	}
+	// The wedged subscriber is released: its channel drains and closes.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+		case <-time.After(time.Until(deadline)):
+			t.Fatal("subscription channel never closed after Close")
+		}
+	}
+}
+
 func newTestServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
 	srv := New(cfg)

@@ -127,6 +127,13 @@ type Session struct {
 	trans  debug.TransitionStats
 	err    error
 
+	// bpParked marks a backpressure hold: the session is StateRunning but
+	// off the run queue, waiting at a quantum boundary for a backpressure
+	// subscriber to drain its backlog. The flusher that empties the last
+	// backlog re-enqueues the session (or Close finalizes it directly —
+	// no worker owns a parked session).
+	bpParked bool
+
 	// Crash-safety state: the last checkpoint (machine snapshot plus
 	// debugger companion), how many quanta ran since it was taken, the
 	// consecutive-fault streak (reset by every completed quantum), the
@@ -331,17 +338,35 @@ func (s *Session) Events() []Event {
 // Subscription streams a session's events as they are appended, in
 // execution order, independent of the pull-style Events queue (a
 // subscription is a tee, not a drain). The channel is closed when the
-// session closes, the subscription is canceled, or the subscriber falls
-// more than its buffer depth behind — the slow-consumer case, reported by
-// Dropped and by the optional onDrop callback.
+// session closes, the subscription is canceled, or — for ordinary
+// subscriptions — the subscriber falls more than its buffer depth
+// behind: the slow-consumer case, reported by Dropped and by the
+// optional onDrop callback.
+//
+// A backpressure subscription (SubscribeOptions.Backpressure) is never
+// severed. Events beyond the buffer accumulate in an overflow backlog
+// that a flusher goroutine drains into the channel at the subscriber's
+// pace, and a session that reaches a quantum boundary with a backlog
+// still pending parks there — off the run queue, still StateRunning —
+// until the subscriber catches up. Tracing clients that must not lose
+// events trade throughput for completeness; a subscriber that stops
+// reading suspends its session indefinitely (Close still tears it
+// down), so backpressure subscriptions must be drained concurrently
+// with any Wait on the session.
 type Subscription struct {
 	s  *Session
 	ch chan Event
 
+	backpressure bool
+	quit         chan struct{} // closed with the subscription: unblocks a mid-send flusher
+
 	// guarded by s.mu
-	done    bool
-	dropped bool
-	onDrop  func()
+	done     bool
+	dropped  bool
+	onDrop   func()
+	overflow []Event // events past the buffer, awaiting the flusher (backpressure only)
+	ovHead   int     // first undelivered overflow entry
+	flushing bool    // a flusher goroutine owns overflow draining
 }
 
 // maxSubscribeDepth caps a subscription's buffer. The depth reaches
@@ -350,19 +375,44 @@ type Subscription struct {
 // gigabytes or panic in make(chan), killing the whole server.
 const maxSubscribeDepth = 1 << 16
 
-// Subscribe registers a push subscriber with the given buffer depth
-// (<= 0 selects the server's Config.PushBuffer; clamped to
-// maxSubscribeDepth). onDrop, if non-nil, is invoked from a fresh
-// goroutine if the subscriber is dropped for falling behind. Subscribing
-// to a closed session returns an already-closed subscription.
+// SubscribeOptions parameterizes SubscribeWith.
+type SubscribeOptions struct {
+	// Depth is the subscription's buffer depth (<= 0 selects the server's
+	// Config.PushBuffer; clamped to maxSubscribeDepth).
+	Depth int
+	// OnDrop, if non-nil, is invoked from a fresh goroutine if the
+	// subscriber is dropped for falling behind. Never invoked for
+	// backpressure subscriptions, which are not dropped.
+	OnDrop func()
+	// Backpressure selects lossless delivery: instead of severing the
+	// subscription when it falls behind, the session pauses at its next
+	// quantum boundary until the subscriber drains (see Subscription).
+	Backpressure bool
+}
+
+// Subscribe registers a push subscriber with the given buffer depth and
+// slow-consumer callback (see SubscribeOptions for both).
 func (s *Session) Subscribe(depth int, onDrop func()) *Subscription {
+	return s.SubscribeWith(SubscribeOptions{Depth: depth, OnDrop: onDrop})
+}
+
+// SubscribeWith registers a push subscriber. Subscribing to a closed
+// session returns an already-closed subscription.
+func (s *Session) SubscribeWith(opts SubscribeOptions) *Subscription {
+	depth := opts.Depth
 	if depth <= 0 {
 		depth = s.srv.cfg.PushBuffer
 	}
 	if depth > maxSubscribeDepth {
 		depth = maxSubscribeDepth
 	}
-	sub := &Subscription{s: s, ch: make(chan Event, depth), onDrop: onDrop}
+	sub := &Subscription{
+		s:            s,
+		ch:           make(chan Event, depth),
+		onDrop:       opts.OnDrop,
+		backpressure: opts.Backpressure,
+		quit:         make(chan struct{}),
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state == StateClosed {
@@ -394,10 +444,20 @@ func (sub *Subscription) Cancel() {
 	sub.s.removeSubLocked(sub)
 }
 
-// closeLocked closes the channel once. Caller holds s.mu.
+// closeLocked closes the subscription once. Caller holds s.mu. While a
+// flusher is mid-drain the event channel is left open — the flusher may
+// be blocked sending on it, and closing it under that send would panic —
+// and closing quit wakes the flusher, which observes done and closes the
+// channel itself on exit.
 func (sub *Subscription) closeLocked() {
-	if !sub.done {
-		sub.done = true
+	if sub.done {
+		return
+	}
+	sub.done = true
+	if sub.quit != nil {
+		close(sub.quit)
+	}
+	if !sub.flushing {
 		close(sub.ch)
 	}
 }
@@ -433,6 +493,27 @@ func (s *Session) appendEventLocked(ev Event) {
 	s.events = append(s.events, ev)
 	for i := 0; i < len(s.subs); {
 		sub := s.subs[i]
+		if sub.backpressure {
+			// Lossless mode: a direct send is only legal while no backlog
+			// is pending (the flusher delivers in append order); otherwise
+			// the event joins the backlog and a flusher is started if none
+			// is draining yet.
+			if !sub.flushing && sub.ovHead == len(sub.overflow) {
+				select {
+				case sub.ch <- ev:
+					i++
+					continue
+				default:
+				}
+			}
+			sub.overflow = append(sub.overflow, ev)
+			if !sub.flushing {
+				sub.flushing = true
+				go sub.flush()
+			}
+			i++
+			continue
+		}
 		select {
 		case sub.ch <- ev:
 			i++
@@ -447,6 +528,64 @@ func (s *Session) appendEventLocked(ev Event) {
 			go sub.onDrop()
 		}
 	}
+}
+
+// flush drains a backpressure subscription's backlog into its channel at
+// the subscriber's pace; it is the only goroutine sending while a
+// backlog is pending, so delivery stays in append order. When the
+// backlog empties with the session parked on it, the flusher lifts the
+// hold and re-enqueues the session.
+func (sub *Subscription) flush() {
+	s := sub.s
+	for {
+		s.mu.Lock()
+		if sub.done {
+			// Canceled or session closed: drop the backlog (the events
+			// remain in the pull queue) and complete the deferred close.
+			sub.flushing = false
+			sub.overflow, sub.ovHead = nil, 0
+			close(sub.ch)
+			s.mu.Unlock()
+			return
+		}
+		if sub.ovHead == len(sub.overflow) {
+			sub.overflow, sub.ovHead = sub.overflow[:0], 0
+			sub.flushing = false
+			resume := false
+			if s.bpParked && !s.backlogPendingLocked() {
+				s.bpParked = false
+				resume = true
+			}
+			s.mu.Unlock()
+			if resume {
+				if err := s.srv.enqueue(s); err != nil {
+					// Draining or overloaded: park idle with an EventShed,
+					// like a load-shedding pause; Continue resumes later.
+					s.pauseShed()
+				}
+			}
+			return
+		}
+		ev := sub.overflow[sub.ovHead]
+		sub.ovHead++
+		s.mu.Unlock()
+		select {
+		case sub.ch <- ev:
+		case <-sub.quit:
+			// Closed while blocked: the next iteration observes done.
+		}
+	}
+}
+
+// backlogPendingLocked reports whether any backpressure subscriber still
+// has undelivered backlog. Caller holds s.mu.
+func (s *Session) backlogPendingLocked() bool {
+	for _, sub := range s.subs {
+		if sub.backpressure && (sub.flushing || sub.ovHead < len(sub.overflow)) {
+			return true
+		}
+	}
+	return false
 }
 
 // Stats returns the latest execution statistics snapshot. While the
@@ -482,6 +621,13 @@ func (s *Session) Close() {
 	case StateClosed:
 	case StateRunning:
 		s.closeReq = true // the worker finalizes at the quantum boundary
+		if s.bpParked {
+			// No worker owns a backpressure-parked session, so nobody else
+			// would see the close request: finalize here. The flushers wake
+			// on their quit channels and discard their backlogs.
+			s.bpParked = false
+			s.finalizeLocked()
+		}
 	default:
 		s.finalizeLocked()
 	}
@@ -739,6 +885,14 @@ func (s *Session) runQuantum(quantum uint64) bool {
 	default:
 		if s.closeReq {
 			s.finalizeLocked()
+			return false
+		}
+		if s.backlogPendingLocked() {
+			// Backpressure: a lossless subscriber is still behind. Hold the
+			// session at this quantum boundary — off the queue, still
+			// StateRunning — until the last flusher drains and re-enqueues.
+			s.bpParked = true
+			s.srv.noteBackpressureStall()
 			return false
 		}
 		return true // quantum expired mid-run: requeue behind the others

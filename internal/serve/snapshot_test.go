@@ -26,6 +26,14 @@ type debugWorkload struct {
 }
 
 func setupDebugWorkload(t *testing.T, m *machine.Machine) *debugWorkload {
+	return setupDebugWorkloadBackend(t, m, debug.BackendDise)
+}
+
+// setupDebugWorkloadBackend is setupDebugWorkload with a chosen debugger
+// backend: the mid-skip snapshot tests use the virtual-memory backend
+// because its spurious transitions charge real stalls (DISE filters them
+// — the paper's point — which leaves nothing to skip over).
+func setupDebugWorkloadBackend(t *testing.T, m *machine.Machine, backend debug.Backend) *debugWorkload {
 	t.Helper()
 	spec, ok := workload.ByName("gcc")
 	if !ok {
@@ -33,7 +41,7 @@ func setupDebugWorkload(t *testing.T, m *machine.Machine) *debugWorkload {
 	}
 	w := workload.MustBuild(spec, 1<<20)
 	m.Load(w.Program)
-	d := debug.New(m, debug.DefaultOptions(debug.BackendDise))
+	d := debug.New(m, debug.DefaultOptions(backend))
 	if err := d.Watch(&debug.Watchpoint{Name: "hot", Kind: debug.WatchScalar, Addr: w.WP.Hot, Size: 8}); err != nil {
 		t.Fatal(err)
 	}
@@ -83,6 +91,15 @@ func (dw *debugWorkload) fingerprint() machineFingerprint {
 // The replayed machine must be bit-identical to an uninterrupted run on
 // every observable surface, and the snapshot encoding must be
 // deterministic, across all five machine presets.
+//
+// Each preset is exercised at two snapshot points: a fixed mid-run
+// instruction count, and a "mid-skip" point — the first instruction
+// boundary after a charged debugger-transition stall, where the timing
+// core's event edges (the commit booking's known-full run and next-free
+// edge, the pushed-ahead fetch cursor) sit thousands of cycles past the
+// dispatch stream. A restored machine must resume skipping exactly like
+// the donor, which is precisely the edge-serialization half of the
+// event-edge refactor's snapshot contract.
 func TestSnapshotRoundTripDeterminism(t *testing.T) {
 	const mid, end = 15_000, 40_000
 	for _, preset := range machine.Presets() {
@@ -92,61 +109,105 @@ func TestSnapshotRoundTripDeterminism(t *testing.T) {
 			if !ok {
 				t.Fatalf("no preset %q", preset)
 			}
-
-			// Uninterrupted reference run.
-			ref := setupDebugWorkload(t, machine.New(cfg))
-			ref.runTo(t, end)
-			want := ref.fingerprint()
-
-			// Snapshot at mid, then let the donor run on so a shared page
-			// or aliased structure would visibly corrupt the snapshot.
-			donor := setupDebugWorkload(t, machine.New(cfg))
-			donor.runTo(t, mid)
-			snap := donor.m.Snapshot()
-			chk := donor.d.Checkpoint()
-			enc := snap.Encode()
-			if len(enc) == 0 {
-				t.Fatal("empty snapshot encoding")
-			}
-			if !bytes.Equal(enc, snap.Encode()) {
-				t.Fatal("snapshot encoding is not deterministic")
-			}
-			donor.runTo(t, end)
-			if got := donor.fingerprint(); got != want {
-				t.Fatalf("donor's own run diverged from reference (snapshot overhead is not transparent):\n got %+v\nwant %+v", got, want)
-			}
-
-			// Restore onto a fresh machine and replay.
-			fresh := machine.New(cfg)
-			fresh.Restore(snap)
-			donor.d.RestoreCheckpoint(chk)
-			donor.d.Rebind(fresh)
-			if enc2 := fresh.Snapshot().Encode(); !bytes.Equal(enc, enc2) {
-				t.Fatal("re-snapshot of restored machine encodes differently")
-			}
-			replay := &debugWorkload{m: fresh, d: donor.d, w: donor.w}
-			replay.runTo(t, end)
-			if got := replay.fingerprint(); got != want {
-				t.Fatalf("restored run diverged from uninterrupted run:\n got %+v\nwant %+v", got, want)
-			}
-
-			// Full-memory comparison, beyond the fingerprinted values.
-			wantPages := ref.m.Mem.MappedPages()
-			gotPages := fresh.Mem.MappedPages()
-			if len(wantPages) != len(gotPages) {
-				t.Fatalf("mapped pages differ: got %d want %d", len(gotPages), len(wantPages))
-			}
-			for i, pn := range wantPages {
-				if gotPages[i] != pn {
-					t.Fatalf("page set differs at %d: got %#x want %#x", i, gotPages[i], pn)
-				}
-				wb := ref.m.Mem.ReadBytes(pn*4096, 4096)
-				gb := fresh.Mem.ReadBytes(pn*4096, 4096)
-				if !bytes.Equal(wb, gb) {
-					t.Fatalf("memory page %#x differs after restore+replay", pn)
-				}
-			}
+			t.Run("mid", func(t *testing.T) { roundTripAt(t, cfg, debug.BackendDise, mid, end) })
+			t.Run("mid-skip", func(t *testing.T) {
+				// The virtual-memory backend charges the §2 spurious
+				// transitions as real stalls, so there is a skip to land in.
+				const b = debug.BackendVirtualMemory
+				roundTripAt(t, cfg, b, findMidSkip(t, cfg, b), end)
+			})
 		})
+	}
+}
+
+// findMidSkip locates the first instruction boundary at which the
+// workload has charged a debugger-transition stall: a snapshot taken
+// there lands between event edges, with long fully-booked runs still
+// ahead of the dispatch stream.
+func findMidSkip(t *testing.T, cfg machine.Config, backend debug.Backend) uint64 {
+	t.Helper()
+	const limit = 30_000
+	probe := setupDebugWorkloadBackend(t, machine.New(cfg), backend)
+	coarse := uint64(0)
+	for n := uint64(250); n <= limit; n += 250 {
+		probe.runTo(t, n)
+		if probe.m.Core.Stats().TrapStallCycles > 0 {
+			coarse = n
+			break
+		}
+	}
+	if coarse == 0 {
+		t.Fatalf("no debugger-transition stall charged in the first %d insts", limit)
+	}
+	fine := setupDebugWorkloadBackend(t, machine.New(cfg), backend)
+	if coarse > 250 {
+		fine.runTo(t, coarse-250)
+	}
+	for n := coarse - 250 + 1; ; n++ {
+		fine.runTo(t, n)
+		if fine.m.Core.Stats().TrapStallCycles > 0 {
+			return n
+		}
+	}
+}
+
+// roundTripAt runs the snapshot round-trip contract with the snapshot
+// taken at instruction boundary mid, under the given debugger backend.
+func roundTripAt(t *testing.T, cfg machine.Config, backend debug.Backend, mid, end uint64) {
+	t.Helper()
+
+	// Uninterrupted reference run.
+	ref := setupDebugWorkloadBackend(t, machine.New(cfg), backend)
+	ref.runTo(t, end)
+	want := ref.fingerprint()
+
+	// Snapshot at mid, then let the donor run on so a shared page
+	// or aliased structure would visibly corrupt the snapshot.
+	donor := setupDebugWorkloadBackend(t, machine.New(cfg), backend)
+	donor.runTo(t, mid)
+	snap := donor.m.Snapshot()
+	chk := donor.d.Checkpoint()
+	enc := snap.Encode()
+	if len(enc) == 0 {
+		t.Fatal("empty snapshot encoding")
+	}
+	if !bytes.Equal(enc, snap.Encode()) {
+		t.Fatal("snapshot encoding is not deterministic")
+	}
+	donor.runTo(t, end)
+	if got := donor.fingerprint(); got != want {
+		t.Fatalf("donor's own run diverged from reference (snapshot overhead is not transparent):\n got %+v\nwant %+v", got, want)
+	}
+
+	// Restore onto a fresh machine and replay.
+	fresh := machine.New(cfg)
+	fresh.Restore(snap)
+	donor.d.RestoreCheckpoint(chk)
+	donor.d.Rebind(fresh)
+	if enc2 := fresh.Snapshot().Encode(); !bytes.Equal(enc, enc2) {
+		t.Fatal("re-snapshot of restored machine encodes differently")
+	}
+	replay := &debugWorkload{m: fresh, d: donor.d, w: donor.w}
+	replay.runTo(t, end)
+	if got := replay.fingerprint(); got != want {
+		t.Fatalf("restored run diverged from uninterrupted run:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Full-memory comparison, beyond the fingerprinted values.
+	wantPages := ref.m.Mem.MappedPages()
+	gotPages := fresh.Mem.MappedPages()
+	if len(wantPages) != len(gotPages) {
+		t.Fatalf("mapped pages differ: got %d want %d", len(gotPages), len(wantPages))
+	}
+	for i, pn := range wantPages {
+		if gotPages[i] != pn {
+			t.Fatalf("page set differs at %d: got %#x want %#x", i, gotPages[i], pn)
+		}
+		wb := ref.m.Mem.ReadBytes(pn*4096, 4096)
+		gb := fresh.Mem.ReadBytes(pn*4096, 4096)
+		if !bytes.Equal(wb, gb) {
+			t.Fatalf("memory page %#x differs after restore+replay", pn)
+		}
 	}
 }
 

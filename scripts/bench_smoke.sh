@@ -33,6 +33,14 @@ echo "-- cache micros (informational) --"
 go test -bench='BenchmarkCacheAccess$|BenchmarkHierarchyDataLatency$' \
     -run=NONE -benchtime=1s -count=1 ./internal/cache | grep -E 'Benchmark|^ok' || true
 
+# Timing-core micros (informational, not gated): the booking reservation
+# shapes (the stall-vault case is the event-edge scheduler's reason to
+# exist) and the Core.time hot loop, event-edge vs the retained linear
+# reference.
+echo "-- timing-core micros (informational) --"
+go test -bench='BenchmarkBooking$|BenchmarkTimeEdge$' \
+    -run=NONE -benchtime=1s -count=1 ./internal/pipeline | grep -E 'Benchmark|^ok' || true
+
 # Crash-safety micros (informational, not gated): the incremental machine
 # snapshot (the per-checkpoint price) and the serve workload rerun with
 # periodic checkpointing on, whose delta against

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Profile smoke: capture a CPU profile of the simulator throughput bench
+# and print the flat-percentage leaders, so the next profile-leader hunt
+# is one command. Usage: scripts/profile_smoke.sh [benchtime] [outdir]
+#
+# Artifacts land in outdir (default /tmp/dise-profile): cpu.pprof plus
+# the bench binary the profile resolves symbols against. Dig deeper with
+#   go tool pprof <outdir>/bench.test <outdir>/cpu.pprof
+#
+# For a live service, run disesrv with -pprof localhost:6060 and use
+#   go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-5s}"
+outdir="${2:-/tmp/dise-profile}"
+mkdir -p "$outdir"
+
+go test -bench='BenchmarkSimulatorThroughput$' -run=NONE -benchtime="$benchtime" \
+    -count=1 -cpuprofile "$outdir/cpu.pprof" -o "$outdir/bench.test" .
+
+echo "-- flat leaders ($outdir/cpu.pprof) --"
+go tool pprof -top -nodecount=15 "$outdir/bench.test" "$outdir/cpu.pprof"
