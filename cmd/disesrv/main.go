@@ -8,7 +8,7 @@
 //	disesrv [-listen addr] [-stdio] [-workers N] [-quantum N] [-max-sessions N]
 //	        [-machine preset] [-queue-depth N] [-shed reject|pause] [-push-buffer N]
 //	        [-checkpoint-every N] [-read-timeout d] [-write-timeout d] [-drain-timeout d]
-//	        [-pprof addr]
+//	        [-pprof addr] [-log-format text|json] [-trace-depth N]
 //
 // -machine selects the default machine configuration preset for sessions
 // that do not bring their own (clients pick per-session presets with the
@@ -29,7 +29,16 @@
 //
 // -pprof addr serves net/http/pprof on a profiling sidecar address
 // (e.g. localhost:6060): live CPU/heap/goroutine profiles of a running
-// service, the production half of scripts/profile_smoke.sh.
+// service, the production half of scripts/profile_smoke.sh. The same
+// sidecar serves the metrics registry in Prometheus text format at
+// /metrics (also reachable in-band via the metrics wire op).
+//
+// -log-format picks the structured-log encoding on stderr: text
+// (logfmt-style, the default) or json (one object per line, for log
+// shippers). The service logs connection open/close with the remote
+// address and per-connection op count, drain progress, and session
+// fault/recovery events. -trace-depth sizes each session's scheduling
+// trace ring (the trace wire op's timeline; default 256, -1 disables).
 //
 // With -listen, every accepted connection is an independent protocol
 // stream; sessions outlive their connection and can be reattached from
@@ -57,6 +66,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
@@ -87,9 +97,16 @@ func main() {
 		readTO     = flag.Duration("read-timeout", 0, "sever TCP clients idle past this (0 = none)")
 		writeTO    = flag.Duration("write-timeout", 0, "sever TCP clients wedging a write past this (0 = none)")
 		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound on SIGTERM/SIGINT")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
+		logFormat  = flag.String("log-format", "text", "structured-log encoding on stderr (text|json)")
+		traceDepth = flag.Int("trace-depth", 0, "per-session scheduling trace ring depth (0 = default 256, -1 = off)")
 	)
 	flag.Parse()
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disesrv:", err)
+		os.Exit(2)
+	}
 	if !*stdio && *listen == "" {
 		fmt.Fprintln(os.Stderr, "disesrv: need -listen addr, -stdio, or both")
 		flag.Usage()
@@ -119,17 +136,23 @@ func main() {
 		CheckpointEvery: *checkpoint,
 		ReadTimeout:     *readTO,
 		WriteTimeout:    *writeTO,
+		TraceDepth:      *traceDepth,
+		Logger:          logger,
 	})
 	defer srv.Close()
 
 	if *pprofAddr != "" {
-		// Profiling sidecar: the default mux carries net/http/pprof's
-		// handlers via its blank import. Serving it is best-effort — a
-		// taken port logs and the service runs on unprofiled.
+		// Observability sidecar: the default mux carries net/http/pprof's
+		// handlers via its blank import; the metrics registry mounts next
+		// to them. Serving it is best-effort — a taken port logs and the
+		// service runs on unprofiled.
+		http.Handle("/metrics", srv.Metrics())
 		go func() {
-			fmt.Fprintln(os.Stderr, "disesrv: pprof on http://"+*pprofAddr+"/debug/pprof/")
+			logger.Info("observability sidecar",
+				"pprof", "http://"+*pprofAddr+"/debug/pprof/",
+				"metrics", "http://"+*pprofAddr+"/metrics")
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "disesrv: pprof:", err)
+				logger.Error("observability sidecar failed", "err", err)
 			}
 		}()
 	}
@@ -140,16 +163,16 @@ func main() {
 		var err error
 		l, err = net.Listen("tcp", *listen)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "disesrv:", err)
+			logger.Error("listen failed", "addr", *listen, "err", err)
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "disesrv: listening on", l.Addr())
+		logger.Info("listening", "addr", l.Addr().String(), "machine", *machineName)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			// A closed listener is the graceful-drain path, not an error.
 			if err := srv.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
-				fmt.Fprintln(os.Stderr, "disesrv:", err)
+				logger.Error("accept loop failed", "err", err)
 			}
 		}()
 	}
@@ -161,12 +184,12 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		sig := <-sigc
-		fmt.Fprintf(os.Stderr, "disesrv: %v: draining (bound %v)\n", sig, *drainTO)
+		logger.Info("signal received, draining", "signal", sig.String(), "bound", *drainTO)
 		if l != nil {
 			l.Close()
 		}
 		if !srv.Drain(*drainTO) {
-			fmt.Fprintln(os.Stderr, "disesrv: drain timed out; closing anyway")
+			logger.Warn("drain timed out; closing anyway", "bound", *drainTO)
 		}
 		srv.Close()
 		os.Exit(0)
@@ -176,11 +199,24 @@ func main() {
 		go func() {
 			defer wg.Done()
 			if err := srv.ServeConn(stdioConn{}); err != nil {
-				fmt.Fprintln(os.Stderr, "disesrv:", err)
+				logger.Error("stdio stream failed", "err", err)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// newLogger builds the service's structured logger on stderr in the
+// chosen encoding: text (logfmt-style) or json (one object per line).
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (have text, json)", format)
+	}
 }
 
 // stdioConn glues stdin/stdout into one io.ReadWriteCloser. Close gives

@@ -1,0 +1,107 @@
+package obs
+
+import "time"
+
+// TraceEvent is one entry in a TraceRing: a timestamped scheduling
+// event with optional payload fields, generic enough that obs does not
+// depend on who is being traced (the serve layer records session
+// scheduling: enqueue, quantum start/end, park, checkpoint, fault,
+// recovery).
+type TraceEvent struct {
+	// Seq is the ring-assigned sequence number, 1-based and strictly
+	// increasing across the ring's lifetime: a gap between consecutive
+	// snapshot entries means the ring wrapped and events were lost.
+	Seq uint64 `json:"seq"`
+	// TimeNs is the wall-clock timestamp in Unix nanoseconds, filled by
+	// Append if zero.
+	TimeNs int64 `json:"t_ns"`
+	// Kind names the event (e.g. "quantum-start").
+	Kind string `json:"kind"`
+	// Quantum is the per-entity quantum ordinal, when one applies.
+	Quantum uint64 `json:"quantum,omitempty"`
+	// PC is the simulated program counter at the event, when known.
+	PC uint64 `json:"pc,omitempty"`
+	// DurNs is the event's duration in nanoseconds (quantum-end,
+	// checkpoint).
+	DurNs int64 `json:"dur_ns,omitempty"`
+	// Insts is the instructions retired during the event (quantum-end).
+	Insts uint64 `json:"insts,omitempty"`
+	// Note carries a short detail string (fault error, park reason).
+	Note string `json:"note,omitempty"`
+}
+
+// TraceRing is a bounded ring of TraceEvents: appends are O(1) into
+// preallocated storage and never allocate, the newest depth events
+// survive, and Snapshot returns them oldest-first. The ring is NOT
+// internally synchronized — it is designed to be owned by one entity
+// (a session) and accessed under that entity's existing lock, so
+// tracing adds no shared-lock traffic. A nil *TraceRing is a valid
+// disabled ring: Append and Snapshot are no-ops.
+type TraceRing struct {
+	buf  []TraceEvent
+	next int    // next write position
+	n    uint64 // total events ever appended (also the Seq source)
+}
+
+// NewTraceRing builds a ring holding the last depth events; depth <= 0
+// returns nil, the disabled ring.
+func NewTraceRing(depth int) *TraceRing {
+	if depth <= 0 {
+		return nil
+	}
+	return &TraceRing{buf: make([]TraceEvent, 0, depth)}
+}
+
+// Append records ev, assigning its Seq and stamping TimeNs if the
+// caller left it zero. The oldest event is overwritten once the ring is
+// full.
+func (r *TraceRing) Append(ev TraceEvent) {
+	if r == nil {
+		return
+	}
+	r.n++
+	ev.Seq = r.n
+	if ev.TimeNs == 0 {
+		ev.TimeNs = time.Now().UnixNano()
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+}
+
+// Len returns how many events the ring currently holds.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Total returns how many events were ever appended (Total - Len is how
+// many the ring dropped).
+func (r *TraceRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Snapshot copies the retained events, oldest first.
+func (r *TraceRing) Snapshot() []TraceEvent {
+	if r == nil || len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]TraceEvent, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf...)
+}

@@ -213,6 +213,22 @@ func (ps *PoolSet) IdleOf(cfg machine.Config) int {
 	return len(ps.idle[cfg])
 }
 
+// IdleByConfig returns the parked-machine count per configuration — the
+// per-preset pool breakdown surfaced in ServerStats.PoolByConfig and the
+// dise_pool_idle_preset gauge.
+func (ps *PoolSet) IdleByConfig() map[machine.Config]int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if len(ps.idle) == 0 {
+		return nil
+	}
+	out := make(map[machine.Config]int, len(ps.idle))
+	for cfg, list := range ps.idle {
+		out[cfg] = len(list)
+	}
+	return out
+}
+
 // Configs returns how many distinct configurations currently have parked
 // machines.
 func (ps *PoolSet) Configs() int {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/debug"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -65,10 +66,10 @@ type Request struct {
 	Seq uint64 `json:"seq,omitempty"`
 	// Op selects the operation: create, attach, list, watch, break,
 	// continue, step, wait, events, subscribe, unsubscribe, rerank,
-	// stats, read, snapshot, restore, close, ping.
+	// stats, metrics, trace, read, snapshot, restore, close, ping.
 	Op string `json:"op"`
-	// Session addresses every op except create, list, ping, and the
-	// server-wide stats form.
+	// Session addresses every op except create, list, ping, metrics, and
+	// the server-wide stats form.
 	Session uint64 `json:"session,omitempty"`
 
 	// create: assembly source, back end name (dise|vm|hw|step|rewrite;
@@ -164,6 +165,13 @@ type Response struct {
 	// snapshot: the encoded snapshot's size and SHA-256 content hash.
 	SnapshotBytes int    `json:"snapshot_bytes,omitempty"`
 	SnapshotHash  string `json:"snapshot_hash,omitempty"`
+
+	// metrics: every registered metric (the same data /metrics exposes as
+	// Prometheus text), counters and gauges as numbers, histograms as
+	// {count, sum, buckets}.
+	Metrics map[string]any `json:"metrics,omitempty"`
+	// trace: the session's scheduling timeline, oldest first.
+	Trace []obs.TraceEvent `json:"trace,omitempty"`
 }
 
 // EventFrame is one asynchronously pushed event on a subscribed
@@ -209,6 +217,10 @@ type protoConn struct {
 	writerDone chan struct{} // closed when the writer goroutine exits
 	stopOnce   sync.Once
 	killOnce   sync.Once
+
+	// ops counts requests handled, written only on the read-loop
+	// goroutine and reported in the connection-close log line.
+	ops uint64
 
 	mu   sync.Mutex
 	subs map[uint64]*connSub // session id -> live subscription
@@ -349,9 +361,22 @@ func (cs *connSub) retire() {
 	<-cs.done
 }
 
+// remoteName labels a transport for the connection logs: its remote
+// address when it has one (TCP), "local" otherwise (stdio, pipes).
+func remoteName(rw io.ReadWriter) string {
+	if ra, ok := rw.(interface{ RemoteAddr() net.Addr }); ok {
+		if addr := ra.RemoteAddr(); addr != nil {
+			return addr.String()
+		}
+	}
+	return "local"
+}
+
 // ServeConn handles one protocol connection until EOF or a read error.
 // Sessions created on the connection outlive it; close them explicitly
 // or let Server.Close reap them. Subscriptions die with the connection.
+// With Config.Logger set, connection open and close are logged with the
+// remote address and the number of ops the connection handled.
 func (srv *Server) ServeConn(rw io.ReadWriter) error {
 	c := &protoConn{
 		srv:        srv,
@@ -361,7 +386,12 @@ func (srv *Server) ServeConn(rw io.ReadWriter) error {
 		writerDone: make(chan struct{}),
 		subs:       make(map[uint64]*connSub),
 	}
+	remote := remoteName(rw)
+	srv.logger.Info("conn open", "remote", remote)
 	go c.writer()
+	defer func() {
+		srv.logger.Info("conn close", "remote", remote, "ops", c.ops)
+	}()
 	defer func() {
 		c.mu.Lock()
 		subs := c.subs
@@ -392,6 +422,7 @@ func (srv *Server) ServeConn(rw io.ReadWriter) error {
 		if line == "" {
 			continue
 		}
+		c.ops++
 		var req Request
 		resp := Response{}
 		if err := json.Unmarshal([]byte(line), &req); err != nil {
@@ -431,9 +462,13 @@ func (srv *Server) Serve(l net.Listener) error {
 	}
 }
 
-// handle executes one request.
+// handle executes one request, observing its latency under the op's
+// label (blocking ops like wait record their full blocked time — the
+// latency a client experienced, not just compute).
 func (srv *Server) handle(c *protoConn, req *Request) Response {
+	t0 := time.Now()
 	resp, err := srv.handleErr(c, req)
+	srv.met.observeWireOp(req.Op, int64(time.Since(t0)))
 	resp.Seq = req.Seq
 	if err != nil {
 		resp.OK = false
@@ -456,6 +491,10 @@ func (srv *Server) handleErr(c *protoConn, req *Request) (Response, error) {
 			st := srv.Stats()
 			return Response{Server: &st}, nil
 		}
+	case "metrics":
+		// The full metric registry as JSON — the same data the /metrics
+		// HTTP endpoint serves as Prometheus text.
+		return Response{Metrics: srv.Metrics().SnapshotJSON()}, nil
 	case "create":
 		name := req.Backend
 		if name == "" {
@@ -568,6 +607,11 @@ func (srv *Server) handleErr(c *protoConn, req *Request) (Response, error) {
 	case "stats":
 		st, tr := s.Stats()
 		return Response{State: s.State().String(), Stats: statsJSON(st, tr)}, nil
+	case "trace":
+		// The session's scheduling timeline: why was this session slow —
+		// quantum durations and instructions retired, parks, checkpoints,
+		// faults, recoveries — oldest first, bounded by Config.TraceDepth.
+		return Response{Session: s.ID, State: s.State().String(), Trace: s.Trace()}, nil
 	case "read":
 		addr, err := s.resolve(req.Addr)
 		if err != nil {

@@ -38,6 +38,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -163,6 +164,18 @@ type Config struct {
 	// deadline-capable transports; a client wedging the transport past it
 	// is severed. 0 disables.
 	WriteTimeout time.Duration
+	// TraceDepth sizes each session's scheduling trace ring: the last N
+	// scheduling events (enqueue, quantum start/end with wall-clock
+	// duration and instructions retired, park, checkpoint, fault,
+	// recovery), dumpable via Session.Trace and the trace wire op. The
+	// ring is per-session, preallocated, and appended under the session's
+	// own lock — no shared lock, no allocation per event. 0 selects the
+	// default 256; negative disables tracing.
+	TraceDepth int
+	// Logger, when set, receives structured logs for connection
+	// open/close (with remote address and op counts), drain progress, and
+	// session fault/recovery/errored events. nil discards.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns the default service configuration.
@@ -213,6 +226,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxFaults <= 0 {
 		c.MaxFaults = 3
 	}
+	switch {
+	case c.TraceDepth == 0:
+		c.TraceDepth = 256
+	case c.TraceDepth < 0:
+		c.TraceDepth = 0
+	}
 	return c
 }
 
@@ -232,49 +251,51 @@ type SessionConfig struct {
 }
 
 // ServerStats counts server activity (also the wire protocol's
-// server-wide stats payload, hence the JSON tags).
+// server-wide stats payload, hence the JSON tags). The counters are
+// read from the same obs instruments /metrics exposes, so the two views
+// cannot disagree.
 type ServerStats struct {
-	SessionsCreated uint64    `json:"sessions_created"`
-	SessionsClosed  uint64    `json:"sessions_closed"`
-	QuantaRun       uint64    `json:"quanta_run"`
-	Shed            uint64    `json:"shed"`           // admissions rejected by load shedding
-	Paused          uint64    `json:"paused"`         // sessions paused to make room (ShedPauseLowest)
-	SlowConsumers   uint64    `json:"slow_consumers"` // subscriptions dropped for not keeping up
+	SessionsCreated uint64 `json:"sessions_created"`
+	SessionsClosed  uint64 `json:"sessions_closed"`
+	QuantaRun       uint64 `json:"quanta_run"`
+	Shed            uint64 `json:"shed"`           // admissions rejected by load shedding
+	Paused          uint64 `json:"paused"`         // sessions paused to make room (ShedPauseLowest)
+	SlowConsumers   uint64 `json:"slow_consumers"` // subscriptions dropped for not keeping up
 	// BackpressureStalls counts quantum boundaries at which a session
 	// parked because a backpressure subscriber had not drained yet.
-	BackpressureStalls uint64 `json:"backpressure_stalls"`
-	EventsDropped      uint64 `json:"events_dropped"` // pull-queue events discarded at EventBuffer
-	Faults          uint64    `json:"faults"`         // quanta that panicked
-	Recoveries      uint64    `json:"recoveries"`     // sessions rebuilt from a checkpoint
-	Runnable        int       `json:"runnable"`       // sessions admitted to run right now
-	QueueLen        int       `json:"queue_len"`      // run-queue length right now
-	PoolConfigs     int       `json:"pool_configs"`   // distinct machine configurations with parked machines
-	Pool            PoolStats `json:"pool"`
+	BackpressureStalls uint64    `json:"backpressure_stalls"`
+	EventsDropped      uint64    `json:"events_dropped"` // pull-queue events discarded at EventBuffer
+	Faults             uint64    `json:"faults"`         // quanta that panicked
+	Recoveries         uint64    `json:"recoveries"`     // sessions rebuilt from a checkpoint
+	Runnable           int       `json:"runnable"`       // sessions admitted to run right now
+	QueueLen           int       `json:"queue_len"`      // run-queue length right now
+	PoolConfigs        int       `json:"pool_configs"`   // distinct machine configurations with parked machines
+	Pool               PoolStats `json:"pool"`
+	// PoolByConfig breaks the pool's idle machines down by machine preset
+	// name; configurations clients brought themselves merge under
+	// "custom".
+	PoolByConfig map[string]int `json:"pool_by_config,omitempty"`
 }
 
 // Server multiplexes debug sessions over pooled machines and scheduler
 // workers. Create with New; stop with Close.
 type Server struct {
-	cfg   Config
-	pools *PoolSet
+	cfg    Config
+	pools  *PoolSet
+	met    *serveMetrics
+	logger *slog.Logger
 
-	mu        sync.Mutex
-	cond      *sync.Cond // broadcast when a session is dropped
-	runcond   *sync.Cond // signaled when the run queue gains work
-	sessions   map[uint64]*Session
-	nextID     uint64
-	closed     bool
-	draining   bool // Drain in progress: no new admissions, running sessions park
-	created    uint64
-	dropped    uint64
-	quanta     uint64
-	shed       uint64
-	paused     uint64
-	slow       uint64
-	bpStalls   uint64
-	evDropped  uint64
-	faults     uint64
-	recoveries uint64
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast when a session is dropped
+	runcond  *sync.Cond // signaled when the run queue gains work
+	sessions map[uint64]*Session
+	nextID   uint64
+	closed   bool
+	draining bool // Drain in progress: no new admissions, running sessions park
+	// cfgNames remembers which preset name each machine configuration was
+	// created under, so pool-idle breakdowns can name parked machines
+	// after their sessions are gone.
+	cfgNames map[machine.Config]string
 
 	// The run queue is a FIFO over a head-indexed slice (not a channel)
 	// so load shedding can inspect queued sessions for a pause victim.
@@ -293,8 +314,16 @@ func New(cfg Config) *Server {
 	srv := &Server{
 		cfg:      cfg,
 		pools:    NewPoolSetQuota(cfg.PoolIdle, cfg.PoolIdlePerConfig),
+		met:      newServeMetrics(),
+		logger:   cfg.Logger,
 		sessions: make(map[uint64]*Session),
+		cfgNames: make(map[machine.Config]string),
 	}
+	if srv.logger == nil {
+		srv.logger = slog.New(slog.DiscardHandler)
+	}
+	srv.cfgNames[cfg.Machine] = cfg.Preset
+	srv.met.registerServerFuncs(srv)
 	srv.cond = sync.NewCond(&srv.mu)
 	srv.runcond = sync.NewCond(&srv.mu)
 	srv.wg.Add(cfg.Workers)
@@ -355,9 +384,14 @@ func (srv *Server) worker() {
 			continue
 		}
 
+		t0 := time.Now()
 		again := s.runQuantumGuarded(srv.cfg.Quantum)
+		// Observed here, around the guarded run, so the histogram count
+		// equals QuantaRun by construction (faulted quanta included, with
+		// their recovery time in the observation).
+		srv.met.quantumNs.Observe(uint64(time.Since(t0)))
+		srv.met.quanta.Inc()
 		srv.mu.Lock()
-		srv.quanta++
 		if again && !srv.closed && !srv.draining {
 			srv.pushLocked(s)
 			srv.runcond.Signal()
@@ -413,7 +447,7 @@ func (srv *Server) enqueue(s *Session) error {
 			victim = srv.shedVictimLocked(s.Priority())
 		}
 		if victim == nil {
-			srv.shed++
+			srv.met.shed.Inc()
 			return ErrOverloaded
 		}
 		// The victim keeps its queue slot; the worker that pops it sees
@@ -421,7 +455,7 @@ func (srv *Server) enqueue(s *Session) error {
 		// runnable slot transfers to the newcomer immediately.
 		victim.shedReq.Store(true)
 		srv.runnable--
-		srv.paused++
+		srv.met.paused.Inc()
 	}
 	srv.runnable++
 	srv.pushLocked(s)
@@ -529,7 +563,8 @@ func (srv *Server) CreateWith(prog *asm.Program, opts debug.Options, sc SessionC
 	srv.nextID++
 	s.ID = srv.nextID
 	srv.sessions[s.ID] = s
-	srv.created++
+	srv.notePresetLocked(sc.Machine, sc.Preset)
+	srv.met.sessionsCreated.Inc()
 	srv.mu.Unlock()
 	return s, nil
 }
@@ -582,64 +617,47 @@ func (srv *Server) Sessions() []uint64 {
 	return ids
 }
 
-// Stats returns a snapshot of server activity.
+// Stats returns a snapshot of server activity. The counters come from
+// the same lock-free instruments the /metrics endpoint scrapes.
 func (srv *Server) Stats() ServerStats {
+	m := srv.met
 	srv.mu.Lock()
 	st := ServerStats{
-		SessionsCreated: srv.created,
-		SessionsClosed:  srv.dropped,
-		QuantaRun:       srv.quanta,
-		Shed:            srv.shed,
-		Paused:          srv.paused,
-		SlowConsumers:   srv.slow,
-		BackpressureStalls: srv.bpStalls,
-		EventsDropped:      srv.evDropped,
-		Faults:          srv.faults,
-		Recoveries:      srv.recoveries,
-		Runnable:        srv.runnable,
-		QueueLen:        srv.queuedLocked(),
+		SessionsCreated:    m.sessionsCreated.Load(),
+		SessionsClosed:     m.sessionsClosed.Load(),
+		QuantaRun:          m.quanta.Load(),
+		Shed:               m.shed.Load(),
+		Paused:             m.paused.Load(),
+		SlowConsumers:      m.slow.Load(),
+		BackpressureStalls: m.bpStalls.Load(),
+		EventsDropped:      m.evDropped.Load(),
+		Faults:             m.faults.Load(),
+		Recoveries:         m.recoveries.Load(),
+		Runnable:           srv.runnable,
+		QueueLen:           srv.queuedLocked(),
 	}
 	srv.mu.Unlock()
 	st.Pool = srv.pools.Stats()
 	st.PoolConfigs = srv.pools.Configs()
+	st.PoolByConfig = srv.poolIdleByPreset()
 	return st
 }
 
 // noteBackpressureStall counts a session parked at a quantum boundary
 // for a lagging backpressure subscriber.
-func (srv *Server) noteBackpressureStall() {
-	srv.mu.Lock()
-	srv.bpStalls++
-	srv.mu.Unlock()
-}
+func (srv *Server) noteBackpressureStall() { srv.met.bpStalls.Inc() }
 
 // noteSlowConsumer counts a dropped subscription.
-func (srv *Server) noteSlowConsumer() {
-	srv.mu.Lock()
-	srv.slow++
-	srv.mu.Unlock()
-}
+func (srv *Server) noteSlowConsumer() { srv.met.slow.Inc() }
 
 // noteEventsDropped counts pull-queue events discarded at EventBuffer.
-func (srv *Server) noteEventsDropped(n uint64) {
-	srv.mu.Lock()
-	srv.evDropped += n
-	srv.mu.Unlock()
-}
+func (srv *Server) noteEventsDropped(n uint64) { srv.met.evDropped.Add(n) }
 
 // noteFault counts a panicked quantum.
-func (srv *Server) noteFault() {
-	srv.mu.Lock()
-	srv.faults++
-	srv.mu.Unlock()
-}
+func (srv *Server) noteFault() { srv.met.faults.Inc() }
 
 // noteRecovery counts a session rebuilt from its checkpoint.
-func (srv *Server) noteRecovery() {
-	srv.mu.Lock()
-	srv.recoveries++
-	srv.mu.Unlock()
-}
+func (srv *Server) noteRecovery() { srv.met.recoveries.Inc() }
 
 // Drain initiates a graceful shutdown: new sessions and resumes are
 // rejected with ErrDraining, in-flight quanta finish, and running
@@ -657,6 +675,7 @@ func (srv *Server) Drain(timeout time.Duration) bool {
 	}
 	srv.draining = true
 	srv.mu.Unlock()
+	srv.logger.Info("drain started", "timeout", timeout)
 
 	deadline := time.Now().Add(timeout)
 	// srv.cond has no timed wait; same one-shot broadcast pattern as
@@ -688,6 +707,7 @@ func (srv *Server) Drain(timeout time.Duration) bool {
 		}
 		s.checkpointIfIdle()
 	}
+	srv.logger.Info("drain finished", "quiescent", drained, "sessions", len(open))
 	return drained
 }
 
@@ -697,7 +717,7 @@ func (srv *Server) dropSession(id uint64) {
 	defer srv.mu.Unlock()
 	if _, ok := srv.sessions[id]; ok {
 		delete(srv.sessions, id)
-		srv.dropped++
+		srv.met.sessionsClosed.Inc()
 		srv.cond.Broadcast()
 	}
 }

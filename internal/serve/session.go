@@ -12,6 +12,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/debug"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -146,6 +147,12 @@ type Session struct {
 	faults   int
 	gen      uint64
 	nQuanta  uint64
+
+	// trace is the session's scheduling timeline: a bounded ring of the
+	// last Config.TraceDepth scheduling events, appended under s.mu (no
+	// shared lock) with zero allocations, dumped by Trace and the trace
+	// wire op. nil when tracing is disabled.
+	trace *obs.TraceRing
 }
 
 // checkpoint pairs a machine snapshot with the debugger state that must
@@ -159,6 +166,7 @@ type checkpoint struct {
 // ID when it publishes the session into the server's table.
 func newSession(srv *Server, m *machine.Machine, prog *asm.Program, opts debug.Options, sc SessionConfig) *Session {
 	s := &Session{srv: srv, m: m, prog: prog, sc: sc}
+	s.trace = obs.NewTraceRing(srv.cfg.TraceDepth)
 	s.priority.Store(int64(sc.Priority))
 	s.cond = sync.NewCond(&s.mu)
 	s.d = debug.New(m, opts)
@@ -281,6 +289,7 @@ func (s *Session) Continue(budget uint64) error {
 		s.state = StateIdle
 		return err
 	}
+	s.trace.Append(obs.TraceEvent{Kind: TraceEnqueue, PC: s.m.Core.PC()})
 	return nil
 }
 
@@ -324,6 +333,17 @@ func (s *Session) WaitTimeout(d time.Duration) (State, bool) {
 		s.cond.Wait()
 	}
 	return s.state, s.state != StateRunning
+}
+
+// Trace returns the session's scheduling timeline — the most recent
+// Config.TraceDepth scheduling events, oldest first: enqueue, quantum
+// start/end (with wall-clock duration and instructions retired), park,
+// checkpoint, fault, recovery. A gap in the Seq numbers means the ring
+// wrapped. Nil when tracing is disabled.
+func (s *Session) Trace() []obs.TraceEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trace.Snapshot()
 }
 
 // Events drains and returns the queued events.
@@ -661,6 +681,7 @@ func (s *Session) pauseShed() {
 	if s.state == StateRunning {
 		s.state = StateIdle
 		s.appendEventLocked(Event{Kind: EventShed, PC: s.m.Core.PC()})
+		s.trace.Append(obs.TraceEvent{Kind: TracePark, PC: s.m.Core.PC(), Note: "shed"})
 	}
 	if s.closeReq {
 		s.finalizeLocked()
@@ -705,6 +726,9 @@ func (s *Session) recoverFault(r any) (again bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.faults++
+	s.trace.Append(obs.TraceEvent{Kind: TraceFault, Quantum: s.nQuanta, Note: faultErr.Error()})
+	s.srv.logger.Error("session fault", "session", s.ID, "quantum", s.nQuanta,
+		"streak", s.faults, "err", faultErr)
 	if s.closeReq {
 		// The session is being torn down anyway: drop the broken machine
 		// (never back to the pool) and finalize.
@@ -730,7 +754,9 @@ func (s *Session) recoverFault(r any) (again bool) {
 	s.stats = nm.Core.Stats()
 	s.trans = s.d.Stats()
 	s.appendEventLocked(Event{Kind: EventFault, PC: nm.Core.PC(), Err: faultErr.Error(), Gen: s.gen})
+	s.trace.Append(obs.TraceEvent{Kind: TraceRecovery, Quantum: s.gen, PC: nm.Core.PC()})
 	s.srv.noteRecovery()
+	s.srv.logger.Info("session recovered", "session", s.ID, "generation", s.gen, "pc", nm.Core.PC())
 	return true // still StateRunning: requeue and replay from the checkpoint
 }
 
@@ -750,6 +776,7 @@ func (s *Session) errorLocked(err error) {
 	s.err = err
 	s.state = StateErrored
 	s.appendEventLocked(Event{Kind: EventError, Err: err.Error(), Gen: s.gen})
+	s.srv.logger.Error("session errored", "session", s.ID, "generation", s.gen, "err", err)
 	for _, sub := range s.subs {
 		sub.closeLocked()
 	}
@@ -761,8 +788,12 @@ func (s *Session) errorLocked(err error) {
 // state as the rewind point. Caller holds s.mu; the session must own a
 // machine and must not be running on a worker.
 func (s *Session) checkpointLocked() {
+	t0 := time.Now()
 	s.chk = &checkpoint{mach: s.m.Snapshot(), dbg: s.d.Checkpoint()}
 	s.sinceChk = 0
+	dur := time.Since(t0)
+	s.srv.met.checkpointNs.Observe(uint64(dur))
+	s.trace.Append(obs.TraceEvent{Kind: TraceCheckpoint, PC: s.m.Core.PC(), DurNs: int64(dur)})
 }
 
 // checkpointIfIdle checkpoints the session if it is idle and still owns a
@@ -789,6 +820,7 @@ func (s *Session) SnapshotNow() (size int, hash string, err error) {
 	}
 	s.checkpointLocked()
 	enc := s.chk.mach.Encode()
+	s.srv.met.snapshotB.Observe(uint64(len(enc)))
 	sum := sha256.Sum256(enc)
 	return len(enc), hex.EncodeToString(sum[:]), nil
 }
@@ -839,14 +871,17 @@ func (s *Session) runQuantum(quantum uint64) bool {
 		return false
 	}
 	m := s.m
-	target := m.Core.Stats().AppInsts + quantum
+	startInsts := m.Core.Stats().AppInsts
+	target := startInsts + quantum
 	if s.target > 0 && target > s.target {
 		target = s.target
 	}
 	s.hitUser = false
 	s.nQuanta++
 	nq := s.nQuanta
+	s.trace.Append(obs.TraceEvent{Kind: TraceQStart, Quantum: nq, PC: m.Core.PC()})
 	s.mu.Unlock()
+	t0 := time.Now()
 
 	if inject := s.srv.cfg.FaultInject; inject != nil {
 		if err := inject(s.ID, nq, m); err != nil {
@@ -863,6 +898,13 @@ func (s *Session) runQuantum(quantum uint64) bool {
 	s.faults = 0 // the quantum completed: the consecutive-fault streak ends
 	s.stats = m.Core.Stats()
 	s.trans = s.d.Stats()
+	s.trace.Append(obs.TraceEvent{
+		Kind:    TraceQEnd,
+		Quantum: nq,
+		PC:      m.Core.PC(),
+		DurNs:   int64(time.Since(t0)),
+		Insts:   s.stats.AppInsts - startInsts,
+	})
 	if ce := s.srv.cfg.CheckpointEvery; ce > 0 && err == nil && !m.Core.Halted() && !s.closeReq {
 		s.sinceChk++
 		if s.sinceChk >= ce {
@@ -893,6 +935,7 @@ func (s *Session) runQuantum(quantum uint64) bool {
 			// StateRunning — until the last flusher drains and re-enqueues.
 			s.bpParked = true
 			s.srv.noteBackpressureStall()
+			s.trace.Append(obs.TraceEvent{Kind: TracePark, PC: m.Core.PC(), Note: "backpressure"})
 			return false
 		}
 		return true // quantum expired mid-run: requeue behind the others
