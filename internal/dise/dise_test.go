@@ -82,13 +82,13 @@ func TestFigure1Expansion(t *testing.T) {
 	if !ok {
 		t.Fatal("expected expansion")
 	}
-	if len(exp.Insts) != 2 {
-		t.Fatalf("got %d instructions", len(exp.Insts))
+	if len(exp.Uops) != 2 {
+		t.Fatalf("got %d instructions", len(exp.Uops))
 	}
-	if got := exp.Insts[0].String(); got != "addq sp, #8, dr0" {
+	if got := exp.Uops[0].Inst.String(); got != "addq sp, #8, dr0" {
 		t.Errorf("inst 0 = %q", got)
 	}
-	if got := exp.Insts[1].String(); got != "ldq r4, 32(dr0)" {
+	if got := exp.Uops[1].Inst.String(); got != "ldq r4, 32(dr0)" {
 		t.Errorf("inst 1 = %q", got)
 	}
 
@@ -280,5 +280,103 @@ func TestTemplateConstructors(t *testing.T) {
 	cc := DCCallT(DReg(isa.DR1), isa.DHDLR)
 	if cc.Inst.String() != "d_ccall dr1, dhdlr" {
 		t.Errorf("got %q", cc.Inst.String())
+	}
+}
+
+// TestInstallTimeUopBuffers exercises the install-time uop lifecycle: a
+// production's literal replacement slots are pre-resolved at Install,
+// trigger-dependent slots re-resolve per expansion, and Remove/Clear
+// invalidate the buffers so a stale production can never serve uops.
+func TestInstallTimeUopBuffers(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	p := &Production{
+		Name:    "mixed",
+		Pattern: MatchClass(isa.ClassStore),
+		Replacement: []TemplateInst{
+			TInst(), // trigger copy: no resolution needed
+			Lit(isa.Inst{Op: isa.OpAddq, RA: isa.R1, RB: isa.R2, RC: isa.R3}),                                // literal: resolved at Install
+			{Inst: isa.Inst{Op: isa.OpAddq, RB: isa.Zero, RC: isa.DR1, RCSp: isa.DiseSpace}, RAFrom: FromRA}, // parameterized
+		},
+	}
+	if p.uops != nil || p.lit != nil {
+		t.Fatal("uop buffers resolved before Install")
+	}
+	if err := e.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.uops) != 3 || len(p.lit) != 3 {
+		t.Fatalf("Install left buffers at %d/%d slots, want 3/3", len(p.uops), len(p.lit))
+	}
+	if p.lit[0] || !p.lit[1] || p.lit[2] {
+		t.Fatalf("literal flags = %v, want [false true false]", p.lit)
+	}
+	if p.uops[1] != isa.ResolveUop(p.Replacement[1].Inst) {
+		t.Fatal("literal slot not pre-resolved to its template instruction")
+	}
+
+	trig := isa.Inst{Op: isa.OpStq, RA: isa.R7, RB: isa.SP, Imm: 8}
+	exp, ok := e.Expand(trig, 0x1000)
+	if !ok {
+		t.Fatal("no expansion")
+	}
+	if len(exp.Uops) != 3 {
+		t.Fatalf("expansion length %d, want 3", len(exp.Uops))
+	}
+	// Only the parameterized slot needed resolution; the trigger copy and
+	// the install-time literal were served pre-resolved.
+	if exp.Resolved != 1 {
+		t.Fatalf("Resolved = %d, want 1 (parameterized slot only)", exp.Resolved)
+	}
+	if exp.Uops[0].Inst != trig {
+		t.Fatalf("trigger copy = %v, want %v", exp.Uops[0].Inst, trig)
+	}
+	if exp.Uops[2].Inst.RA != isa.R7 {
+		t.Fatalf("parameterized slot RA = %v, want trigger's R7", exp.Uops[2].Inst.RA)
+	}
+
+	if !e.Remove(p) {
+		t.Fatal("Remove failed")
+	}
+	if p.uops != nil || p.lit != nil {
+		t.Fatal("Remove left stale install-time uop buffers")
+	}
+	if err := e.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.uops) != 3 {
+		t.Fatal("re-Install did not re-resolve the uop buffers")
+	}
+	e.Clear()
+	if p.uops != nil || p.lit != nil {
+		t.Fatal("Clear left stale install-time uop buffers")
+	}
+}
+
+// TestRestoreReresolvesUopBuffers covers the snapshot contract: a
+// production invalidated by Remove between capture and restore must come
+// back with fresh install-time uop buffers.
+func TestRestoreReresolvesUopBuffers(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	p := &Production{
+		Name:        "lit",
+		Pattern:     MatchClass(isa.ClassStore),
+		Replacement: []TemplateInst{TInst(), Lit(isa.Inst{Op: isa.OpAddq, RA: isa.R1, RC: isa.R2})},
+	}
+	if err := e.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Snapshot()
+	if !e.Remove(p) {
+		t.Fatal("Remove failed")
+	}
+	if p.uops != nil {
+		t.Fatal("Remove left uop buffers")
+	}
+	e.Restore(st)
+	if len(p.uops) != 2 || !p.lit[1] {
+		t.Fatalf("Restore did not re-resolve buffers: uops=%d lit=%v", len(p.uops), p.lit)
+	}
+	if _, ok := e.Expand(isa.Inst{Op: isa.OpStq, RA: isa.R3, RB: isa.SP}, 0x40); !ok {
+		t.Fatal("restored production does not expand")
 	}
 }

@@ -16,6 +16,41 @@ type Production struct {
 	// seq is the install order, assigned by Engine.Install; equal-
 	// specificity matches tie-break toward the earliest installed.
 	seq uint64
+
+	// Install-time pre-resolved replacement micro-ops: uops[i] holds
+	// template i decoded to a Uop when lit[i] — i.e. when the template
+	// has no trigger-dependent hole, so its instantiation is the same
+	// for every expansion. Trigger-parameterized slots resolve per
+	// expansion. Remove/Clear invalidate the buffers (nil lit), and
+	// instantiation falls back to full per-slot resolution for any
+	// production expanded without them (e.g. one shared with a second
+	// engine after removal from the first).
+	uops []isa.Uop
+	lit  []bool
+}
+
+// preresolve (re)builds the production's install-time uop buffers. A
+// template is expansion-invariant exactly when nothing in it is filled
+// from the trigger.
+func (p *Production) preresolve() {
+	p.uops = make([]isa.Uop, len(p.Replacement))
+	p.lit = make([]bool, len(p.Replacement))
+	for i := range p.Replacement {
+		t := &p.Replacement[i]
+		if t.UseTrigger || t.OpFromTrigger || t.ImmFromTrigger ||
+			t.RAFrom != FromNone || t.RBFrom != FromNone || t.RCFrom != FromNone {
+			continue
+		}
+		p.uops[i] = isa.ResolveUop(t.Inst)
+		p.lit[i] = true
+	}
+}
+
+// invalidateUops drops the install-time buffers; the production must be
+// re-resolved by the next Install before the fast literal path is used
+// again.
+func (p *Production) invalidateUops() {
+	p.uops, p.lit = nil, nil
 }
 
 func (p *Production) String() string {
@@ -133,6 +168,7 @@ func (e *Engine) Install(p *Production) error {
 	}
 	e.seq++
 	p.seq = e.seq
+	p.preresolve()
 	e.prods = append(e.prods, p)
 	switch {
 	case classKeyed(p):
@@ -176,6 +212,7 @@ func (e *Engine) Remove(p *Production) bool {
 				delete(e.resident, p)
 				e.replUsed -= len(p.Replacement)
 			}
+			p.invalidateUops()
 			return true
 		}
 	}
@@ -193,6 +230,9 @@ func removeProd(list []*Production, p *Production) []*Production {
 
 // Clear removes all productions.
 func (e *Engine) Clear() {
+	for _, p := range e.prods {
+		p.invalidateUops()
+	}
 	e.prods = nil
 	e.byClass = [numClasses][]*Production{}
 	e.byPC = make(map[uint64][]*Production)
@@ -221,10 +261,15 @@ func (e *Engine) Productions() []*Production { return e.prods }
 
 // Expansion is the result of expanding one trigger instruction.
 type Expansion struct {
-	Prod  *Production
-	Insts []isa.Inst // fully instantiated; DISEPC k executes Insts[k-1]
+	Prod *Production
+	Uops []isa.Uop // fully instantiated micro-ops; DISEPC k executes Uops[k-1]
 	// ExtraLatency is the replacement-table refill penalty, if any.
 	ExtraLatency int
+	// Resolved counts the slots that had to be resolved at expansion
+	// time (trigger-parameterized templates); the rest were served from
+	// the trigger's own uop or the production's install-time buffers.
+	// The pipeline folds this into its uop decode-amortization counters.
+	Resolved int
 }
 
 // matchBest returns the most specific production matching inst at pc,
@@ -271,47 +316,64 @@ func (e *Engine) Lookup(inst isa.Inst, pc uint64) (*Production, bool) {
 	return best, best != nil
 }
 
-// instantiate fills buf with p's replacement instantiated against inst,
-// reusing buf's storage when it has the capacity.
-func instantiate(p *Production, inst isa.Inst, buf []isa.Inst) []isa.Inst {
+// instantiate fills buf with p's replacement instantiated against the
+// trigger uop, reusing buf's storage when it has the capacity. Three
+// sources, cheapest first: T.INST slots copy the trigger's already-
+// resolved uop, expansion-invariant slots copy the production's
+// install-time buffer, and only genuinely parameterized slots resolve
+// here (counted in resolved).
+func instantiate(p *Production, trigger *isa.Uop, buf []isa.Uop) (uops []isa.Uop, resolved int) {
 	n := len(p.Replacement)
 	if cap(buf) >= n {
 		buf = buf[:n]
 	} else {
-		buf = make([]isa.Inst, n)
+		buf = make([]isa.Uop, n)
 	}
+	lit := p.lit
 	for i := range p.Replacement {
-		buf[i] = p.Replacement[i].Instantiate(inst)
+		t := &p.Replacement[i]
+		switch {
+		case t.UseTrigger:
+			buf[i] = *trigger
+		case lit != nil && lit[i]:
+			buf[i] = p.uops[i]
+		default:
+			buf[i] = isa.ResolveUop(t.Instantiate(trigger.Inst))
+			resolved++
+		}
 	}
-	return buf
+	return buf, resolved
 }
 
 // Expand applies the most specific matching production to inst at pc. The
 // boolean result is false if the engine is inactive or nothing matches.
+// Convenience form: it resolves the trigger and allocates the sequence;
+// the pipeline's fetch path uses ExpandInto with its own storage.
 func (e *Engine) Expand(inst isa.Inst, pc uint64) (Expansion, bool) {
-	return e.ExpandInto(inst, pc, nil)
+	u := isa.ResolveUop(inst)
+	return e.ExpandInto(&u, pc, nil)
 }
 
-// ExpandInto is Expand with caller-provided storage: the instantiated
-// sequence reuses buf when it fits, so the pipeline's steady-state
-// expansion path does not allocate. The returned Expansion.Insts aliases
-// buf; the caller owns both and must not reuse buf while the expansion is
-// in flight.
-func (e *Engine) ExpandInto(inst isa.Inst, pc uint64, buf []isa.Inst) (Expansion, bool) {
+// ExpandInto is Expand with a pre-resolved trigger and caller-provided
+// storage: the instantiated sequence reuses buf when it fits, so the
+// pipeline's steady-state expansion path does not allocate. The returned
+// Expansion.Uops aliases buf; the caller owns both and must not reuse
+// buf while the expansion is in flight.
+func (e *Engine) ExpandInto(trigger *isa.Uop, pc uint64, buf []isa.Uop) (Expansion, bool) {
 	// The empty-table check matters: Expand sits on the fetch path of
 	// every uop, and most simulated machines run with no productions.
 	if !e.Active || len(e.prods) == 0 {
 		return Expansion{}, false
 	}
-	p, ok := e.Lookup(inst, pc)
+	p, ok := e.Lookup(trigger.Inst, pc)
 	if !ok {
 		return Expansion{}, false
 	}
 	penalty := e.touchReplacement(p)
-	insts := instantiate(p, inst, buf)
+	uops, resolved := instantiate(p, trigger, buf)
 	e.stats.Expansions++
-	e.stats.InstsInserted += uint64(len(insts))
-	return Expansion{Prod: p, Insts: insts, ExtraLatency: penalty}, true
+	e.stats.InstsInserted += uint64(len(uops))
+	return Expansion{Prod: p, Uops: uops, ExtraLatency: penalty, Resolved: resolved}, true
 }
 
 // touchReplacement models replacement-table capacity: if the production's
@@ -352,17 +414,19 @@ func (e *Engine) touchReplacement(p *Production) int {
 // (paper §3: "the DISE engine ... begins expanding the instruction at
 // newDISEPC").
 func (e *Engine) Reexpand(inst isa.Inst, pc uint64) (Expansion, bool) {
-	return e.ReexpandInto(inst, pc, nil)
+	u := isa.ResolveUop(inst)
+	return e.ReexpandInto(&u, pc, nil)
 }
 
-// ReexpandInto is Reexpand with caller-provided storage, mirroring
-// ExpandInto.
-func (e *Engine) ReexpandInto(inst isa.Inst, pc uint64, buf []isa.Inst) (Expansion, bool) {
-	best, _ := e.matchBest(inst, pc)
+// ReexpandInto is Reexpand with a pre-resolved trigger and
+// caller-provided storage, mirroring ExpandInto.
+func (e *Engine) ReexpandInto(trigger *isa.Uop, pc uint64, buf []isa.Uop) (Expansion, bool) {
+	best, _ := e.matchBest(trigger.Inst, pc)
 	if best == nil {
 		return Expansion{}, false
 	}
-	return Expansion{Prod: best, Insts: instantiate(best, inst, buf)}, true
+	uops, resolved := instantiate(best, trigger, buf)
+	return Expansion{Prod: best, Uops: uops, Resolved: resolved}, true
 }
 
 // DBranchTarget computes the DISEPC a taken DISE branch at disepc jumps

@@ -89,6 +89,10 @@ func (e *Engine) Restore(st *State) {
 	e.anyClass = nil
 	for i, p := range e.prods {
 		p.seq = st.seqs[i]
+		// A Remove/Clear between capture and restore invalidated the
+		// production's install-time uop buffers; restoring it to the
+		// table re-resolves them, exactly as Install would.
+		p.preresolve()
 		switch {
 		case classKeyed(p):
 			cls, _ := p.Pattern.ClassKey()

@@ -102,11 +102,11 @@ func TestQuickExpandDeterministic(t *testing.T) {
 		}
 		a, okA := e.Expand(trig, 0x1000)
 		b, okB := e.Expand(trig, 0x1000)
-		if !okA || !okB || len(a.Insts) != len(b.Insts) {
+		if !okA || !okB || len(a.Uops) != len(b.Uops) {
 			return false
 		}
-		for i := range a.Insts {
-			if a.Insts[i] != b.Insts[i] {
+		for i := range a.Uops {
+			if a.Uops[i] != b.Uops[i] {
 				return false
 			}
 		}

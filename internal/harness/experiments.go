@@ -19,7 +19,7 @@ func Table1(cfg Config) *Table {
 		ID:    "table1",
 		Title: "Benchmark summary (paper Table 1)",
 		Columns: []string{"bench", "function", "insts", "IPC", "IPC(paper)",
-			"store density", "density(paper)", "L1D miss", "L2 hit", "predecode hit"},
+			"store density", "density(paper)", "L1D miss", "L2 hit", "predecode hit", "uop reuse"},
 	}
 	for _, spec := range workload.Specs() {
 		if !cfg.wants(spec.Name) {
@@ -35,10 +35,11 @@ func Table1(cfg Config) *Table {
 			fmt.Sprintf("%.1f%%", spec.PaperDensity*100),
 			fmt.Sprintf("%.1f%%", b.Mem.L1D.MissRate()*100),
 			fmt.Sprintf("%.1f%%", (1-b.Mem.L2.MissRate())*100),
-			fmt.Sprintf("%.1f%%", st.PredecodeHitRate()*100))
+			fmt.Sprintf("%.1f%%", st.PredecodeHitRate()*100),
+			fmt.Sprintf("%.1f%%", st.UopReuseRate()*100))
 	}
 	t.Note("kernels are synthetic stand-ins shaped to the paper's function statistics (see DESIGN.md)")
-	t.Note("L1D miss is the demand miss rate (writeback fills tracked separately); L2 hit is the demand hit rate under full victim inclusion; predecode hit is the simulator's code-cache hit rate")
+	t.Note("L1D miss is the demand miss rate (writeback fills tracked separately); L2 hit is the demand hit rate under full victim inclusion; predecode hit is the simulator's code-cache hit rate; uop reuse is the fraction of dispatches served from pre-resolved micro-ops")
 	return t
 }
 

@@ -1,0 +1,179 @@
+package isa
+
+// Decoded micro-op support: a Uop carries an Inst together with every
+// per-instruction fact the pipeline's dispatch loop would otherwise
+// re-derive on each dynamic execution of the same static instruction —
+// execution class, kind flags, memory size, and the fully resolved
+// source/destination register references. Resolution happens once, at
+// decode time (predecode page fill, DISE production install, or template
+// instantiation), so the per-dynamic-instance cost is a field read.
+//
+// The per-opcode facts come from uopMeta, a plain array indexed by
+// opcode and built at init from opTable — the same construction as the
+// decoder's format tables — so adding an opcode cannot leave the two
+// disagreeing. Operand resolution mirrors Inst.Srcs/Inst.Dst exactly
+// (the uop equivalence property test asserts this for every opcode and
+// operand combination); any divergence there would break the
+// LinearTiming differential oracle, which runs over the same uops.
+
+// Uop kind flags, pre-resolved from the opcode class.
+const (
+	UopLoad   uint8 = 1 << iota // reads memory (ClassLoad)
+	UopStore                    // writes memory (ClassStore)
+	UopMul                      // books the multiplier (ClassIntMul)
+	UopHasDst                   // Dst is a real destination register
+)
+
+// Uop is one decoded micro-op: the instruction plus its pre-resolved
+// dispatch facts. Uops are plain comparable values; the pipeline passes
+// them by pointer into pages and expansion buffers that outlive a step.
+type Uop struct {
+	Inst Inst
+
+	// Pre-resolved operand references: Srcs[:NSrc] are the source
+	// registers exactly as Inst.Srcs would return them (hardwired-zero
+	// reads suppressed, same order); Dst is meaningful iff UopHasDst.
+	Srcs [3]RegRef
+	Dst  RegRef
+
+	Class   Class
+	Flags   uint8
+	MemSize uint8 // bytes touched by loads/stores, 0 otherwise
+	NSrc    uint8
+}
+
+// uopMetaInfo is the static per-opcode slice of a Uop, derived from
+// opTable once at init.
+type uopMetaInfo struct {
+	class   Class
+	flags   uint8
+	memSize uint8
+}
+
+var uopMeta [numOps]uopMetaInfo
+
+// uopMetaNop covers out-of-range opcodes, which Class() treats as nops.
+var uopMetaNop = uopMetaInfo{class: ClassNop}
+
+func init() {
+	for op := Op(0); op < numOps; op++ {
+		m := &uopMeta[op]
+		m.class = opTable[op].class
+		m.memSize = opTable[op].memSize
+		switch m.class {
+		case ClassLoad:
+			m.flags = UopLoad
+		case ClassStore:
+			m.flags = UopStore
+		case ClassIntMul:
+			m.flags = UopMul
+		}
+	}
+}
+
+func uopMetaOf(op Op) *uopMetaInfo {
+	if op < numOps {
+		return &uopMeta[op]
+	}
+	return &uopMetaNop
+}
+
+// addSrc records a source register unless it is the hardwired
+// application zero register — the same suppression appendReg applies in
+// Inst.Srcs. (DISE-space references are never suppressed, which also
+// covers the plain-append d_call/d_ccall target case.)
+func (u *Uop) addSrc(r Reg, sp RegSpace) {
+	if sp == AppSpace && r == Zero {
+		return
+	}
+	u.Srcs[u.NSrc] = RegRef{r, sp}
+	u.NSrc++
+}
+
+// setDst records the destination register unless it is the hardwired
+// application zero register, matching Inst.Dst's ok condition.
+func (u *Uop) setDst(r Reg, sp RegSpace) {
+	if sp == AppSpace && r == Zero {
+		return
+	}
+	u.Dst = RegRef{r, sp}
+	u.Flags |= UopHasDst
+}
+
+// Resolve (re)computes every derived field from u.Inst. It is the one
+// place operand references are resolved; the switch mirrors Inst.Srcs
+// and Inst.Dst case for case, including the timing-model quirk that
+// only bsr/jsr expose a jump's link register as a scoreboarded
+// destination (br/jmp write it architecturally but never stall a
+// consumer, matching the original accessor behavior).
+func (u *Uop) Resolve() {
+	in := &u.Inst
+	m := uopMetaOf(in.Op)
+	u.Class = m.class
+	u.Flags = m.flags
+	u.MemSize = m.memSize
+	u.NSrc = 0
+	u.Srcs = [3]RegRef{}
+	u.Dst = RegRef{}
+
+	switch m.class {
+	case ClassLoad:
+		u.addSrc(in.RB, in.RBSp)
+		u.setDst(in.RA, in.RASp)
+	case ClassStore:
+		u.addSrc(in.RA, in.RASp)
+		u.addSrc(in.RB, in.RBSp)
+	case ClassBranch:
+		u.addSrc(in.RA, in.RASp)
+	case ClassJump:
+		if in.Op != OpBr && in.Op != OpBsr {
+			u.addSrc(in.RB, in.RBSp)
+		}
+		if in.Op == OpBsr || in.Op == OpJsr {
+			u.setDst(in.RA, in.RASp)
+		}
+	case ClassIntALU, ClassIntMul:
+		switch in.Op {
+		case OpLda, OpLdah:
+			u.addSrc(in.RB, in.RBSp)
+			u.setDst(in.RA, in.RASp)
+		case OpDmfr:
+			u.addSrc(in.RB, DiseSpace)
+			u.setDst(in.RC, in.RCSp)
+		case OpDmtr:
+			u.addSrc(in.RA, in.RASp)
+			u.setDst(in.RB, DiseSpace)
+		default:
+			u.addSrc(in.RA, in.RASp)
+			if !in.UseImm {
+				u.addSrc(in.RB, in.RBSp)
+			}
+			u.setDst(in.RC, in.RCSp)
+		}
+	case ClassTrap:
+		if in.Op == OpCtrap {
+			u.addSrc(in.RA, in.RASp)
+		}
+	case ClassDise:
+		switch in.Op {
+		case OpDbeq, OpDbne, OpDccall:
+			u.addSrc(in.RA, in.RASp)
+		}
+		if in.Op == OpDcall || in.Op == OpDccall {
+			u.addSrc(in.RB, DiseSpace)
+		}
+	}
+}
+
+// ResolveUop returns the decoded micro-op for an already-decoded (or
+// template-instantiated) instruction.
+func ResolveUop(in Inst) Uop {
+	u := Uop{Inst: in}
+	u.Resolve()
+	return u
+}
+
+// DecodeUop decodes one instruction word straight to a micro-op.
+func DecodeUop(w uint32) Uop {
+	return ResolveUop(Decode(w))
+}

@@ -1,0 +1,115 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkUopAgainstInst asserts the pre-resolved fields of ResolveUop(in)
+// match what the Inst accessors derive per dynamic instance. This is the
+// equivalence the pipeline's uop dispatch (and with it the LinearTiming
+// differential oracle) rests on.
+func checkUopAgainstInst(t *testing.T, in Inst) {
+	t.Helper()
+	u := ResolveUop(in)
+
+	if u.Inst != in {
+		t.Fatalf("%v: Resolve mutated the instruction: %v", in, u.Inst)
+	}
+	if u.Class != in.Op.Class() {
+		t.Errorf("%v: Class = %v, want %v", in, u.Class, in.Op.Class())
+	}
+	if int(u.MemSize) != in.Op.MemSize() {
+		t.Errorf("%v: MemSize = %d, want %d", in, u.MemSize, in.Op.MemSize())
+	}
+	if got, want := u.Flags&UopLoad != 0, in.Op.Class() == ClassLoad; got != want {
+		t.Errorf("%v: UopLoad = %v, want %v", in, got, want)
+	}
+	if got, want := u.Flags&UopStore != 0, in.Op.Class() == ClassStore; got != want {
+		t.Errorf("%v: UopStore = %v, want %v", in, got, want)
+	}
+	if got, want := u.Flags&UopMul != 0, in.Op.Class() == ClassIntMul; got != want {
+		t.Errorf("%v: UopMul = %v, want %v", in, got, want)
+	}
+
+	var buf [3]RegRef
+	srcs := in.Srcs(buf[:0])
+	if int(u.NSrc) != len(srcs) {
+		t.Fatalf("%v: NSrc = %d, want %d (%v)", in, u.NSrc, len(srcs), srcs)
+	}
+	for k, s := range srcs {
+		if u.Srcs[k] != s {
+			t.Errorf("%v: Srcs[%d] = %v, want %v", in, k, u.Srcs[k], s)
+		}
+	}
+
+	d, ok := in.Dst()
+	if got := u.Flags&UopHasDst != 0; got != ok {
+		t.Fatalf("%v: HasDst = %v, want %v", in, got, ok)
+	}
+	if ok && u.Dst != d {
+		t.Errorf("%v: Dst = %v, want %v", in, u.Dst, d)
+	}
+}
+
+// TestUopMatchesInstSemantics sweeps every opcode (plus an out-of-range
+// one) against every combination of interesting register values, spaces,
+// and the immediate-form flag — exhaustive over the operand-selection
+// switches in Srcs/Dst, so a new case there cannot silently diverge from
+// the uop resolver.
+func TestUopMatchesInstSemantics(t *testing.T) {
+	regs := []Reg{R0, R1, R5, SP, Zero}
+	spaces := []RegSpace{AppSpace, DiseSpace}
+	ops := make([]Op, 0, int(numOps)+1)
+	for op := Op(0); op < numOps; op++ {
+		ops = append(ops, op)
+	}
+	ops = append(ops, Op(200)) // out of range: ClassNop path
+
+	for _, op := range ops {
+		for _, ra := range regs {
+			for _, rb := range regs {
+				for _, rc := range regs {
+					for _, rasp := range spaces {
+						for _, rbsp := range spaces {
+							for _, useImm := range []bool{false, true} {
+								checkUopAgainstInst(t, Inst{
+									Op: op, RA: ra, RB: rb, RC: rc,
+									RASp: rasp, RBSp: rbsp,
+									Imm: 16, UseImm: useImm,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUopMatchesInstSemanticsRandom adds randomized RCSp/Imm coverage on
+// top of the exhaustive sweep, plus the DecodeUop == ResolveUop(Decode)
+// identity on raw instruction words.
+func TestUopMatchesInstSemanticsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20000; i++ {
+		in := Inst{
+			Op:     Op(rng.Intn(int(numOps) + 3)),
+			RA:     Reg(rng.Intn(NumRegs)),
+			RB:     Reg(rng.Intn(NumRegs)),
+			RC:     Reg(rng.Intn(NumRegs)),
+			RASp:   RegSpace(rng.Intn(2)),
+			RBSp:   RegSpace(rng.Intn(2)),
+			RCSp:   RegSpace(rng.Intn(2)),
+			Imm:    int64(rng.Intn(1<<16) - 1<<15),
+			UseImm: rng.Intn(2) == 0,
+		}
+		checkUopAgainstInst(t, in)
+	}
+	for i := 0; i < 20000; i++ {
+		w := rng.Uint32()
+		if got, want := DecodeUop(w), ResolveUop(Decode(w)); got != want {
+			t.Fatalf("DecodeUop(%#x) = %+v, want %+v", w, got, want)
+		}
+	}
+}

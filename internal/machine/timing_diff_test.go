@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/dise"
+	"repro/internal/isa"
 	"repro/internal/pipeline"
 )
 
@@ -173,5 +175,59 @@ func TestTimingDifferentialUnderTrapStalls(t *testing.T) {
 	}
 	if ev.Pipe.AppInsts < 4000 {
 		t.Fatalf("stream too short: %d committed app instructions, want >= 4000", ev.Pipe.AppInsts)
+	}
+}
+
+// TestTimingDifferentialWithDise runs the random-stream differential with
+// the DISE expansion path live: a store-class watchpoint production (the
+// §3 address-watchpoint check sequence) expands every store into a
+// replacement sequence whose uops are pre-resolved at Install time, plus a
+// trigger-parameterized production that re-resolves one slot per
+// expansion. Both uop-resolution sites must leave the event-edge and
+// linear-reference surfaces bit-identical.
+func TestTimingDifferentialWithDise(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xd15e))
+	src := genTimingProgram(rng, 1600, 4)
+	cfg := DefaultConfig()
+	diseHooks := func(m *Machine) {
+		prods := []*dise.Production{
+			{
+				Name:    "watch-stores",
+				Pattern: dise.MatchClass(isa.ClassStore),
+				Replacement: []dise.TemplateInst{
+					dise.TInst(),
+					dise.OpIT(isa.OpAddq, dise.DReg(isa.DR0), 1, dise.DReg(isa.DR0)),
+				},
+			},
+			{
+				// Trigger-parameterized slot: copies the trigger's RA into
+				// a DISE register, so instantiation resolves a fresh uop
+				// per expansion rather than reusing an install-time one.
+				Name:    "spill-mul",
+				Pattern: dise.MatchClass(isa.ClassIntMul),
+				Replacement: []dise.TemplateInst{
+					dise.TInst(),
+					{Inst: isa.Inst{Op: isa.OpAddq, RB: isa.Zero, RC: isa.DR1, RCSp: isa.DiseSpace}, RAFrom: dise.FromRA},
+				},
+			},
+		}
+		for _, p := range prods {
+			if err := m.Engine.Install(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ev, lin := runTimingPair(t, cfg, src, diseHooks)
+	if ev != lin {
+		t.Fatalf("event-edge and linear timing diverged under DISE expansion:\n event %+v\nlinear %+v", ev, lin)
+	}
+	if ev.Pipe.Expansions == 0 {
+		t.Fatal("productions never expanded — the DISE path never ran")
+	}
+	if ev.Pipe.AppInsts < 4000 {
+		t.Fatalf("stream too short: %d committed app instructions, want >= 4000", ev.Pipe.AppInsts)
+	}
+	if ev.Pipe.UopHits == 0 || ev.Pipe.UopResolves == 0 {
+		t.Fatalf("uop counters dead: hits=%d resolves=%d", ev.Pipe.UopHits, ev.Pipe.UopResolves)
 	}
 }

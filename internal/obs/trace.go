@@ -26,6 +26,9 @@ type TraceEvent struct {
 	DurNs int64 `json:"dur_ns,omitempty"`
 	// Insts is the instructions retired during the event (quantum-end).
 	Insts uint64 `json:"insts,omitempty"`
+	// UopReuse is the fraction of dispatches served from pre-resolved
+	// micro-ops during the event (quantum-end), 0 when nothing dispatched.
+	UopReuse float64 `json:"uop_reuse,omitempty"`
 	// Note carries a short detail string (fault error, park reason).
 	Note string `json:"note,omitempty"`
 }

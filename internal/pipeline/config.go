@@ -185,6 +185,19 @@ type Stats struct {
 	PredecodeEvictions     uint64 // pages dropped by the LRU cap
 	PredecodeInvalidations uint64 // pages dropped because a store touched them
 
+	// Decoded-uop dispatch amortization, across both resolution sites
+	// (predecoded text pages and DISE replacement sequences). A "hit" is
+	// a dispatch served from an already-resolved micro-op — a predecoded
+	// page fetch, an install-time literal replacement slot, or a T.INST
+	// trigger copy; a "resolve" is one micro-op resolution actually
+	// performed — page-fill slots (instsPerPage per page decode),
+	// misaligned fetches, and trigger-parameterized replacement slots.
+	// UopInvalidations counts pre-resolved micro-ops discarded because a
+	// store touched their text page.
+	UopHits          uint64
+	UopResolves      uint64
+	UopInvalidations uint64
+
 	HaltPC uint64
 	Halted bool
 }
@@ -205,6 +218,16 @@ func (s Stats) PredecodeHitRate() float64 {
 		return 0
 	}
 	return float64(s.PredecodeHits) / float64(total)
+}
+
+// UopReuseRate returns the fraction of dispatched micro-ops served from
+// an already-resolved uop — the decode-amortization figure of merit.
+func (s Stats) UopReuseRate() float64 {
+	total := s.UopHits + s.UopResolves
+	if total == 0 {
+		return 0
+	}
+	return float64(s.UopHits) / float64(total)
 }
 
 // StoreDensity returns application stores per application instruction.

@@ -31,13 +31,13 @@ type Core struct {
 	// exp points at expBuf while a replacement sequence is in flight and
 	// is nil otherwise. The buffer lives in Core so that taking its
 	// address does not heap-allocate an Expansion on every step, and
-	// expScratch is the instruction storage the engine instantiates into
+	// expScratch is the micro-op storage the engine instantiates into
 	// (ExpandInto), so steady-state expansion does not allocate either.
 	// At most one expansion is in flight per core, so reusing one buffer
 	// is safe.
 	exp        *dise.Expansion
 	expBuf     dise.Expansion
-	expScratch []isa.Inst
+	expScratch []isa.Uop
 	inDiseFunc bool
 	halted     bool
 	stopReq    bool
@@ -150,7 +150,7 @@ func New(cfg Config, m *mem.Memory, hier *cache.Hierarchy, bp *bpred.Predictor, 
 	c.fetchCursor = 1
 	c.storeQGen = 1
 	c.storeQLo, c.storeQHi = ^uint64(0), 0
-	c.expScratch = make([]isa.Inst, 0, 32)
+	c.expScratch = make([]isa.Uop, 0, 32)
 	c.lastFetchLine = ^uint64(0)
 	hcfg := hier.Config()
 	c.l1iHitLat = uint64(hcfg.L1I.HitLatency)
@@ -164,13 +164,19 @@ func New(cfg Config, m *mem.Memory, hier *cache.Hierarchy, bp *bpred.Predictor, 
 func (c *Core) Config() Config { return c.cfg }
 
 // Stats returns run statistics so far, folding in the predecoded-text
-// cache counters the predecoder keeps privately.
+// cache counters the predecoder keeps privately. The uop counters
+// combine both resolution sites: the predecoder (page fills, misaligned
+// fetches, store invalidations) and the DISE expansion path (c.stats
+// accumulates those at the ExpandInto call site).
 func (c *Core) Stats() Stats {
 	st := c.stats
 	st.PredecodeHits = c.pred.hits
 	st.PredecodePageDecodes = c.pred.decodes
 	st.PredecodeEvictions = c.pred.evictions
 	st.PredecodeInvalidations = c.pred.invalidations
+	st.UopHits += c.pred.hits
+	st.UopResolves += c.pred.resolves
+	st.UopInvalidations += c.pred.uopInvals
 	return st
 }
 
@@ -297,10 +303,13 @@ func (c *Core) Run(maxAppInsts uint64) error {
 // calling Run again resumes from the same architectural state.
 func (c *Core) RequestStop() { c.stopReq = true }
 
-// step fetches, functionally executes, and times exactly one uop.
+// step fetches, functionally executes, and times exactly one uop. The
+// uop arrives pre-resolved — from the predecoded page, the DISE
+// replacement buffers, or the expansion scratch — so nothing here
+// re-derives per-instruction facts; exec and time read fields.
 func (c *Core) step() {
 	pc, dpc := c.pc, c.dpc
-	var inst isa.Inst
+	var u *isa.Uop
 	expExtra := 0
 	inFunc := c.inDiseFunc // captured before exec can change it
 	inDise := dpc > 0 || inFunc
@@ -310,18 +319,20 @@ func (c *Core) step() {
 		if exp, ok := c.Engine.ExpandInto(raw, pc, c.expScratch); ok {
 			c.expBuf = exp
 			c.exp = &c.expBuf
-			c.expScratch = exp.Insts // adopt any growth for reuse
+			c.expScratch = exp.Uops // adopt any growth for reuse
 			c.stats.Expansions++
+			c.stats.UopResolves += uint64(exp.Resolved)
+			c.stats.UopHits += uint64(len(exp.Uops) - exp.Resolved)
 			expExtra = exp.ExtraLatency
 			dpc = 1
 			c.dpc = 1
-			inst = exp.Insts[0]
+			u = &c.expBuf.Uops[0]
 			inDise = true
 		} else {
-			inst = raw
+			u = raw
 		}
 	} else {
-		inst = c.exp.Insts[dpc-1]
+		u = &c.exp.Uops[dpc-1]
 	}
 
 	// --- timing: fetch ---
@@ -329,13 +340,10 @@ func (c *Core) step() {
 
 	// --- functional execution + control flow ---
 	var ev execResult
-	c.exec(&inst, pc, dpc, inDise, &ev)
+	c.exec(u, pc, dpc, inDise, &ev)
 
-	// --- timing: dispatch/issue/complete/commit ---
-	c.time(&inst, &ev, fetchAt, inDise, inFunc)
-
-	// --- advance front-end functional cursor ---
-	c.advance(&ev, pc, dpc)
+	// --- timing + front-end advance, fused ---
+	c.time(u, &ev, fetchAt, inDise, inFunc, pc, dpc)
 }
 
 // fetchAt computes the fetch cycle for the uop at (pc, dpc), charging
@@ -390,10 +398,12 @@ type execResult struct {
 	halted bool
 }
 
-// exec functionally executes inst, updating architectural state, calling
-// debugger hooks, and deciding control flow. The result is written into
-// the caller's ev (passed in to keep the per-uop struct off the copy path).
-func (c *Core) exec(inst *isa.Inst, pc uint64, dpc int, inDise bool, ev *execResult) {
+// exec functionally executes the uop, updating architectural state,
+// calling debugger hooks, and deciding control flow. The result is
+// written into the caller's ev (passed in to keep the per-uop struct off
+// the copy path). The execution class and memory size come pre-resolved
+// from the uop; the opcode-level switches below still read u.Inst.
+func (c *Core) exec(u *isa.Uop, pc uint64, dpc int, inDise bool, ev *execResult) {
 	if c.Hooks.OnInst != nil && dpc == 0 && !c.inDiseFunc {
 		ev.trapStall += c.Hooks.OnInst(pc)
 		if ev.trapStall > 0 {
@@ -401,7 +411,8 @@ func (c *Core) exec(inst *isa.Inst, pc uint64, dpc int, inDise bool, ev *execRes
 		}
 	}
 
-	switch inst.Op.Class() {
+	inst := &u.Inst
+	switch u.Class {
 	case isa.ClassNop:
 		// includes unmatched codewords
 
@@ -414,10 +425,11 @@ func (c *Core) exec(inst *isa.Inst, pc uint64, dpc int, inDise bool, ev *execRes
 	case isa.ClassLoad:
 		base := c.readReg(inst.RB, inst.RBSp)
 		addr := isa.EffAddr(base, inst.Imm)
-		v := isa.SignExtendLoad(inst.Op, c.Mem.Read(addr, inst.Op.MemSize()))
+		size := int(u.MemSize)
+		v := isa.SignExtendLoad(inst.Op, c.Mem.Read(addr, size))
 		c.writeReg(inst.RA, inst.RASp, v)
 		ev.isLoad = true
-		ev.addr, ev.size = addr, inst.Op.MemSize()
+		ev.addr, ev.size = addr, size
 		if !inDise {
 			c.stats.Loads++
 		}
@@ -425,7 +437,7 @@ func (c *Core) exec(inst *isa.Inst, pc uint64, dpc int, inDise bool, ev *execRes
 	case isa.ClassStore:
 		base := c.readReg(inst.RB, inst.RBSp)
 		addr := isa.EffAddr(base, inst.Imm)
-		size := inst.Op.MemSize()
+		size := int(u.MemSize)
 		v := isa.StoreValue(inst.Op, c.readReg(inst.RA, inst.RASp))
 		old := c.Mem.Read(addr, size)
 		c.Mem.Write(addr, size, v)
@@ -580,10 +592,15 @@ func (c *Core) execDise(inst *isa.Inst, pc uint64, dpc int, ev *execResult) {
 	}
 }
 
-// time runs the uop through the timing model and updates the front-end
-// cursors for flushes and stalls. inFunc is whether the uop was fetched
-// inside a DISE-called function (captured before exec).
-func (c *Core) time(inst *isa.Inst, ev *execResult, fetchAt uint64, inDise, inFunc bool) {
+// time runs the uop through the timing model, updates the front-end
+// cursors for flushes and stalls, and advances the functional front-end
+// cursor to the next uop — the dispatch tail of step, fused so the
+// booking-table writes, edge maintenance, and the redirect handling all
+// happen in one pass per uop instead of two calls with a second
+// redirect dispatch. inFunc is whether the uop was fetched inside a
+// DISE-called function (captured before exec); pc/dpc are the fetch
+// coordinates captured at the top of step.
+func (c *Core) time(u *isa.Uop, ev *execResult, fetchAt uint64, inDise, inFunc bool, pc uint64, dpc int) {
 	arrival := fetchAt + uint64(c.cfg.FrontEndDepth)
 
 	// Structure occupancy: ROB, RS, and (for memory ops) LSQ. The
@@ -618,10 +635,10 @@ func (c *Core) time(inst *isa.Inst, ev *execResult, fetchAt uint64, inDise, inFu
 	dispatchAt := c.dispatchBook.book(earliest)
 	c.lastDispatch = dispatchAt
 
-	// Operand readiness.
+	// Operand readiness, over the pre-resolved source references.
 	issueEarliest := dispatchAt + 1
-	var srcs [3]isa.RegRef
-	for _, s := range inst.Srcs(srcs[:0]) {
+	for k := 0; k < int(u.NSrc); k++ {
+		s := u.Srcs[k]
 		if t := c.readyAt(s.Reg, s.Space); t > issueEarliest {
 			issueEarliest = t
 		}
@@ -652,7 +669,7 @@ func (c *Core) time(inst *isa.Inst, ev *execResult, fetchAt uint64, inDise, inFu
 	case ev.isStore:
 		issueAt = c.aluBook.book(issueEarliest) // address generation
 		doneAt = issueAt + 1
-	case inst.Op.Class() == isa.ClassIntMul:
+	case u.Flags&isa.UopMul != 0:
 		issueAt = c.mulBook.book(issueEarliest)
 		doneAt = issueAt + uint64(c.cfg.MulLatency)
 	default:
@@ -661,7 +678,8 @@ func (c *Core) time(inst *isa.Inst, ev *execResult, fetchAt uint64, inDise, inFu
 	}
 
 	// Destination becomes ready at completion.
-	if d, ok := inst.Dst(); ok {
+	if u.Flags&isa.UopHasDst != 0 {
+		d := u.Dst
 		if c.cfg.MTDiseCalls && inFunc && d.Space == isa.AppSpace {
 			// The function thread has its own rename space; its register
 			// writes do not stall the application thread (§4).
@@ -735,14 +753,13 @@ func (c *Core) time(inst *isa.Inst, ev *execResult, fetchAt uint64, inDise, inFu
 		c.halted = true
 		c.stats.Halted = true
 		c.stats.HaltPC = c.pc
+		return // pc stays at the halt
 	}
-}
 
-// advance moves the functional front-end cursor to the next uop.
-func (c *Core) advance(ev *execResult, pc uint64, dpc int) {
-	if ev.halted {
-		return
-	}
+	// Advance the functional front-end cursor to the next uop (fused
+	// former advance step; u must not be read past this point — a
+	// redirect resume below may overwrite the expansion scratch it
+	// points into).
 	if ev.redirect {
 		c.pc, c.dpc = ev.nextPC, ev.nextDPC
 		if c.dpc > 0 {
@@ -753,13 +770,13 @@ func (c *Core) advance(ev *execResult, pc uint64, dpc int) {
 				if exp, ok := c.Engine.ReexpandInto(raw, c.pc, c.expScratch); ok {
 					c.expBuf = exp
 					c.exp = &c.expBuf
-					c.expScratch = exp.Insts
+					c.expScratch = exp.Uops
 				} else {
 					// The production vanished mid-call; resume raw.
 					c.dpc = 0
 				}
 			}
-			if c.exp != nil && c.dpc > len(c.exp.Insts) {
+			if c.exp != nil && c.dpc > len(c.exp.Uops) {
 				// Jump or return past the end of the sequence: it is done.
 				c.pc, c.dpc = c.pc+4, 0
 			}
@@ -770,7 +787,7 @@ func (c *Core) advance(ev *execResult, pc uint64, dpc int) {
 		return
 	}
 	if dpc > 0 {
-		if dpc+1 <= len(c.exp.Insts) {
+		if dpc+1 <= len(c.exp.Uops) {
 			c.dpc = dpc + 1
 		} else {
 			c.pc, c.dpc, c.exp = pc+4, 0, nil

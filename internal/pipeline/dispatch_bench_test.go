@@ -1,0 +1,101 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/machine"
+)
+
+// dispatchKernel is a non-halting steady-state loop mixing the dispatch
+// shapes the uop refactor targets: dependent ALU chains, a load/store
+// pair over one cache line (store-forwarding hits), and a data-dependent
+// branch. Once the first pass has resolved the text page, every dynamic
+// instruction dispatches from pre-resolved uops, so budget-bounded Run
+// calls measure the hot loop and nothing else.
+const dispatchKernel = `
+.data
+.align 8
+buf: .space 64
+.text
+.entry main
+main:
+    la  r10, buf
+loop:
+    addq r1, #1, r1
+    ldq r2, 0(r10)
+    addq r2, r1, r2
+    stq r2, 0(r10)
+    and r1, #7, r3
+    bne r3, loop
+    xor r2, r1, r4
+    br  loop
+`
+
+// dispatchMachine loads the kernel and runs it past the cold-start
+// transient (page resolution, predictor warm-up, cache fills), returning
+// the machine and the cumulative app-instruction target reached. Core.Run
+// budgets are absolute cumulative targets, so steady-state chunks are
+// driven by bumping the target.
+func dispatchMachine(tb testing.TB, dise bool) (*machine.Machine, uint64) {
+	tb.Helper()
+	p, err := asm.Assemble(dispatchKernel)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m := machine.NewDefault()
+	m.Load(p)
+	if dise {
+		installStoreWatch(tb, m)
+	}
+	const warm = 100_000
+	m.MustRun(warm)
+	return m, warm
+}
+
+// BenchmarkDispatch measures the steady-state dispatch loop — fetch from
+// the uop cache through exec and the fused time/advance — in simulated
+// instructions per second, without the machine-construction and workload-
+// generation costs the macro throughput benchmark includes. The dise
+// variant keeps a store-class watchpoint production installed, so every
+// fourth-ish instruction takes the ExpandInto path. Both must run the hot
+// loop allocation-free (TestDispatchAllocFree asserts it; -benchmem
+// shows it here).
+func BenchmarkDispatch(b *testing.B) {
+	const chunk = 10_000
+	for _, v := range []struct {
+		name string
+		dise bool
+	}{{"plain", false}, {"dise", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			m, target := dispatchMachine(b, v.dise)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				target += chunk
+				m.MustRun(target)
+			}
+			b.ReportMetric(float64(b.N)*chunk/b.Elapsed().Seconds()/1e6, "Minsts/s")
+		})
+	}
+}
+
+// TestDispatchAllocFree pins the hot-loop invariant the dispatch refactor
+// must preserve: once warm, dispatching instructions — plain or through
+// DISE expansion — performs zero heap allocations.
+func TestDispatchAllocFree(t *testing.T) {
+	for _, v := range []struct {
+		name string
+		dise bool
+	}{{"plain", false}, {"dise", true}} {
+		t.Run(v.name, func(t *testing.T) {
+			m, target := dispatchMachine(t, v.dise)
+			if allocs := testing.AllocsPerRun(50, func() {
+				target += 2_000
+				m.MustRun(target)
+			}); allocs != 0 {
+				t.Errorf("dispatch loop allocates: %v allocs per 2000-inst chunk", allocs)
+			}
+		})
+	}
+}

@@ -13,10 +13,12 @@ const instsPerPage = mem.PageSize / 4
 // comfortably above every bundled kernel and the paper's benchmarks.
 const defaultPredecodePages = 64
 
-// decodedPage holds one text page decoded into instructions; slot k is the
-// instruction at page base + 4k.
+// decodedPage holds one text page decoded into micro-ops; slot k is the
+// instruction at page base + 4k, pre-resolved (class, kind flags, operand
+// register references) so the dispatch loop reads fields instead of
+// re-deriving them per dynamic instance.
 type decodedPage struct {
-	insts   [instsPerPage]isa.Inst
+	uops    [instsPerPage]isa.Uop
 	lastUse uint64 // LRU stamp, updated on page switches (not per fetch)
 }
 
@@ -52,7 +54,7 @@ type predecoder struct {
 	// the MRU is valid and noWindow otherwise, which no fetchable pc can
 	// fall within. Reconstructible from the MRU, so snapshots don't carry
 	// it.
-	win     *[instsPerPage]isa.Inst
+	win     *[instsPerPage]isa.Uop
 	winBase uint64
 
 	// [loPN, hiPN] bounds every page ever cached, so the write hook can
@@ -64,6 +66,20 @@ type predecoder struct {
 	decodes       uint64 // pages decoded (cold, or re-decoded after a drop)
 	evictions     uint64 // pages dropped by the LRU cap
 	invalidations uint64 // pages dropped because a store touched them
+
+	// Uop-granular decode-amortization counters: resolves counts
+	// micro-ops resolved (instsPerPage per page decode, one per
+	// misaligned fetch), uopInvals counts pre-resolved micro-ops thrown
+	// away because a store touched their page. Capacity evictions are
+	// deliberately excluded from uopInvals — they are a cache-sizing
+	// effect, not a coherence event.
+	resolves  uint64
+	uopInvals uint64
+
+	// misal is the scratch slot misaligned fetches resolve into; the
+	// returned pointer is valid until the next fetch, which is all the
+	// single-uop-in-flight dispatch loop needs.
+	misal isa.Uop
 }
 
 // noWindow poisons winBase so that pc-winBase overflows past PageSize for
@@ -84,22 +100,29 @@ func newPredecoder(m *mem.Memory, maxPages int) *predecoder {
 	}
 }
 
-// fetch returns the decoded instruction at pc. An aligned pc inside the
+// fetch returns the decoded micro-op at pc. An aligned pc inside the
 // refill window is served with one index; everything else — a window
 // miss, an invalidated window, a misaligned pc — takes the slow path.
-func (d *predecoder) fetch(pc uint64) isa.Inst {
+// The returned pointer stays valid until the page is dropped AND the
+// caller lets go of it (pages are never mutated in place, only
+// unlinked), so a self-modifying store may invalidate the page of the
+// very uop executing it without corrupting that uop.
+func (d *predecoder) fetch(pc uint64) *isa.Uop {
 	if off := pc - d.winBase; off < mem.PageSize && pc&3 == 0 {
 		d.hits++
-		return d.win[off>>2]
+		return &d.win[off>>2]
 	}
 	return d.fetchSlow(pc)
 }
 
-func (d *predecoder) fetchSlow(pc uint64) isa.Inst {
+func (d *predecoder) fetchSlow(pc uint64) *isa.Uop {
 	if pc&3 != 0 {
 		// Misaligned PCs never come from the predecoded image; decode the
-		// straddling word directly, exactly as raw fetch did.
-		return isa.Decode(d.m.ReadInst(pc))
+		// straddling word directly, exactly as raw fetch did. Resolved
+		// fresh every time (never cached), into the scratch slot.
+		d.misal = isa.DecodeUop(d.m.ReadInst(pc))
+		d.resolves++
+		return &d.misal
 	}
 	pn := mem.PageOf(pc)
 	d.clock++
@@ -111,10 +134,11 @@ func (d *predecoder) fetchSlow(pc uint64) isa.Inst {
 		pg = new(decodedPage)
 		base := mem.PageBase(pc)
 		for i := 0; i < instsPerPage; i++ {
-			pg.insts[i] = isa.Decode(d.m.ReadInst(base + uint64(i)*4))
+			pg.uops[i] = isa.DecodeUop(d.m.ReadInst(base + uint64(i)*4))
 		}
 		d.pages[pn] = pg
 		d.decodes++
+		d.resolves += instsPerPage
 		if d.loPN > d.hiPN {
 			d.loPN, d.hiPN = pn, pn
 		} else {
@@ -130,8 +154,8 @@ func (d *predecoder) fetchSlow(pc uint64) isa.Inst {
 	}
 	pg.lastUse = d.clock
 	d.lastPN, d.lastPage = pn, pg
-	d.win, d.winBase = &pg.insts, mem.PageBase(pc)
-	return pg.insts[(pc&(mem.PageSize-1))>>2]
+	d.win, d.winBase = &pg.uops, mem.PageBase(pc)
+	return &pg.uops[(pc&(mem.PageSize-1))>>2]
 }
 
 // evictLRU drops the least-recently-used page. It runs only when a decode
@@ -168,6 +192,7 @@ func (d *predecoder) reset() {
 	d.win, d.winBase = nil, noWindow
 	d.loPN, d.hiPN = 1, 0
 	d.hits, d.decodes, d.evictions, d.invalidations = 0, 0, 0, 0
+	d.resolves, d.uopInvals = 0, 0
 }
 
 // invalidate drops every cached page in the inclusive page range
@@ -188,6 +213,7 @@ func (d *predecoder) invalidate(loPN, hiPN uint64) {
 		if _, ok := d.pages[pn]; ok {
 			delete(d.pages, pn)
 			d.invalidations++
+			d.uopInvals += instsPerPage
 		}
 		if d.lastPage != nil && d.lastPN == pn {
 			d.lastPage = nil

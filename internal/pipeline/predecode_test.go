@@ -26,13 +26,21 @@ func TestPredecoderServesAndInvalidates(t *testing.T) {
 	pc := uint64(0x4000)
 	m.Write(pc, 4, uint64(encodeOrDie(t, addq)))
 
-	if got := d.fetch(pc); got != addq {
-		t.Fatalf("fetch = %v, want %v", got, addq)
+	if got := d.fetch(pc); got.Inst != addq {
+		t.Fatalf("fetch = %v, want %v", got.Inst, addq)
 	}
 	// Patch the word; the write hook must drop the cached page.
 	m.Write(pc, 4, uint64(encodeOrDie(t, subq)))
-	if got := d.fetch(pc); got != subq {
-		t.Errorf("fetch after patch = %v, want %v (stale cache)", got, subq)
+	if got := d.fetch(pc); got.Inst != subq {
+		t.Errorf("fetch after patch = %v, want %v (stale cache)", got.Inst, subq)
+	}
+	// Uop-granular accounting: two page fills' worth of resolves, one
+	// page's worth of invalidated micro-ops.
+	if d.resolves != 2*instsPerPage {
+		t.Errorf("uop resolves = %d, want %d", d.resolves, 2*instsPerPage)
+	}
+	if d.uopInvals != instsPerPage {
+		t.Errorf("uop invalidations = %d, want %d", d.uopInvals, instsPerPage)
 	}
 }
 
@@ -44,14 +52,14 @@ func TestPredecoderWriteBytesInvalidates(t *testing.T) {
 	addq := isa.Inst{Op: isa.OpAddq, RA: isa.R1, RC: isa.R2, Imm: 5, UseImm: true}
 	pc := uint64(0x8000)
 	m.Write(pc, 4, uint64(encodeOrDie(t, addq)))
-	if got := d.fetch(pc); got != addq {
-		t.Fatalf("fetch = %v, want %v", got, addq)
+	if got := d.fetch(pc); got.Inst != addq {
+		t.Fatalf("fetch = %v, want %v", got.Inst, addq)
 	}
 	// A bulk write spanning the page (e.g. a program reload) must also
 	// invalidate.
 	m.WriteBytes(pc-mem.PageSize, make([]byte, 3*mem.PageSize))
-	if got := d.fetch(pc); got.Op != isa.OpNop {
-		t.Errorf("fetch after bulk overwrite = %v, want nop (zeroed text)", got)
+	if got := d.fetch(pc); got.Inst.Op != isa.OpNop {
+		t.Errorf("fetch after bulk overwrite = %v, want nop (zeroed text)", got.Inst)
 	}
 }
 
@@ -79,8 +87,8 @@ func TestPredecoderMisalignedPCFallsBack(t *testing.T) {
 	w := encodeOrDie(t, isa.Inst{Op: isa.OpAddq, RA: isa.R1, RC: isa.R2, Imm: 9, UseImm: true})
 	m.Write(0x4002, 4, uint64(w))
 	want := isa.Decode(m.ReadInst(0x4002))
-	if got := d.fetch(0x4002); got != want {
-		t.Errorf("misaligned fetch = %v, want %v", got, want)
+	if got := d.fetch(0x4002); got.Inst != want {
+		t.Errorf("misaligned fetch = %v, want %v", got.Inst, want)
 	}
 	// And a misaligned fetch on an already-cached page must not read a
 	// truncated slot index. (The aligned write below also rewrites the
@@ -88,8 +96,8 @@ func TestPredecoderMisalignedPCFallsBack(t *testing.T) {
 	m.Write(0x4004, 4, uint64(w))
 	d.fetch(0x4004) // caches the page
 	want = isa.Decode(m.ReadInst(0x4002))
-	if got := d.fetch(0x4002); got != want {
-		t.Errorf("misaligned fetch with cached page = %v, want %v", got, want)
+	if got := d.fetch(0x4002); got.Inst != want {
+		t.Errorf("misaligned fetch with cached page = %v, want %v", got.Inst, want)
 	}
 }
 
@@ -110,8 +118,8 @@ func TestPredecoderLRUCap(t *testing.T) {
 	d.fetch(pcs[0])
 	d.fetch(pcs[1])
 	d.fetch(pcs[0]) // page 0 is now MRU of the two resident pages
-	if got := d.fetch(pcs[2]); got != addq {
-		t.Fatalf("fetch = %v, want %v", got, addq)
+	if got := d.fetch(pcs[2]); got.Inst != addq {
+		t.Fatalf("fetch = %v, want %v", got.Inst, addq)
 	}
 	if len(d.pages) != 2 {
 		t.Errorf("cached pages = %d, want cap 2", len(d.pages))
@@ -126,8 +134,8 @@ func TestPredecoderLRUCap(t *testing.T) {
 		t.Errorf("evictions = %d, want 1", d.evictions)
 	}
 	// The evicted page re-decodes correctly on demand.
-	if got := d.fetch(pcs[1]); got != addq {
-		t.Errorf("refetch of evicted page = %v, want %v", got, addq)
+	if got := d.fetch(pcs[1]); got.Inst != addq {
+		t.Errorf("refetch of evicted page = %v, want %v", got.Inst, addq)
 	}
 	if d.decodes != 4 {
 		t.Errorf("page decodes = %d, want 4 (3 cold + 1 re-decode)", d.decodes)

@@ -6,10 +6,29 @@ import (
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/dise"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/mem"
 )
+
+// installStoreWatch installs the DISE debugger's canonical store-class
+// watchpoint production (store + counter bump), so the SMC stress tests
+// below run with the expansion path live.
+func installStoreWatch(t testing.TB, m *machine.Machine) {
+	t.Helper()
+	p := &dise.Production{
+		Name:    "watch-stores",
+		Pattern: dise.MatchClass(isa.ClassStore),
+		Replacement: []dise.TemplateInst{
+			dise.TInst(),
+			dise.OpIT(isa.OpAddq, dise.DReg(isa.DR0), 1, dise.DReg(isa.DR0)),
+		},
+	}
+	if err := m.Engine.Install(p); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // TestSelfModifyingCodeInvalidatesPredecode stores a new instruction word
 // over a text location that has already been fetched (and therefore sits
@@ -88,5 +107,123 @@ target:
 	}
 	if got := m.Core.Regs[3]; got != 9 {
 		t.Errorf("r3 = %d after cross-page patch, want 9", got)
+	}
+}
+
+// TestOverwriteNextInstructionWithDise is the hardest of the Maebe & De
+// Bosschere self-modification cases: the store overwrites the instruction
+// the core is about to execute next, on the page currently being fetched
+// from, while a store-class DISE production is expanding that very store.
+// The expansion's trailing uops and the patched fetch must not see the
+// stale pre-resolved micro-op.
+func TestOverwriteNextInstructionWithDise(t *testing.T) {
+	patched, err := isa.Encode(isa.Inst{Op: isa.OpAddq, RA: isa.Zero, Imm: 7, UseImm: true, RC: isa.R3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By the time the stl executes, its whole text page (including patch)
+	// is resolved in the uop cache. The store must invalidate it and the
+	// immediately following fetch must decode the new word.
+	src := fmt.Sprintf(`
+main:
+    la  r1, patch
+    li  r2, %d
+    stl r2, 0(r1)
+patch:
+    addq zero, #1, r3
+    halt
+`, int32(patched))
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewDefault()
+	m.Load(p)
+	installStoreWatch(t, m)
+	st := m.MustRun(0)
+	if !st.Halted {
+		t.Fatal("program did not halt")
+	}
+	if got := m.Core.Regs[3]; got != 7 {
+		t.Errorf("r3 = %d, want 7 (stale uop executed past an expanded store)", got)
+	}
+	if st.Expansions == 0 {
+		t.Error("store-class production never expanded")
+	}
+	if got := m.Engine.Regs[isa.DR0]; got != 1 {
+		t.Errorf("dr0 = %d, want 1 store counted", got)
+	}
+	if want := uint64(mem.PageSize / 4); st.UopInvalidations != want {
+		t.Errorf("UopInvalidations = %d, want %d (one text page of uops dropped)",
+			st.UopInvalidations, want)
+	}
+	if st.PredecodeInvalidations == 0 {
+		t.Error("page invalidation not recorded")
+	}
+}
+
+// TestCrossPageRewriteLoopWithDise keeps rewriting a subroutine on a
+// different text page, alternating two encodings across repeated calls —
+// the rewrite-loop stress case — with the store-class production
+// installed. Every patch must invalidate the target page's uops and every
+// call must execute the freshest encoding.
+func TestCrossPageRewriteLoopWithDise(t *testing.T) {
+	wordA, err := isa.Encode(isa.Inst{Op: isa.OpAddq, RA: isa.Zero, Imm: 2, UseImm: true, RC: isa.R3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wordB, err := isa.Encode(isa.Inst{Op: isa.OpAddq, RA: isa.Zero, Imm: 5, UseImm: true, RC: isa.R3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 8
+	pad := strings.Repeat("    nop\n", mem.PageSize/4)
+	src := fmt.Sprintf(`
+main:
+    la  r1, target
+    li  r2, %d
+    li  r4, %d
+    li  r5, %d
+loop:
+    stl r2, 0(r1)
+    bsr ra, target
+    addq r6, r3, r6
+    stl r4, 0(r1)
+    bsr ra, target
+    addq r6, r3, r6
+    subq r5, #1, r5
+    bne r5, loop
+    halt
+%s
+target:
+    addq zero, #1, r3
+    ret (ra)
+`, int32(wordA), int32(wordB), iters, pad)
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewDefault()
+	m.Load(p)
+	installStoreWatch(t, m)
+	st := m.MustRun(0)
+	if !st.Halted {
+		t.Fatal("program did not halt")
+	}
+	if got, want := m.Core.Regs[6], uint64(iters*(2+5)); got != want {
+		t.Errorf("r6 = %d, want %d (some call saw a stale target encoding)", got, want)
+	}
+	if got := m.Engine.Regs[isa.DR0]; got != 2*iters {
+		t.Errorf("dr0 = %d, want %d stores counted", got, 2*iters)
+	}
+	// Every patch after the first lands on a page that the preceding call
+	// re-resolved, so each drops a full page of uops. (The very first
+	// patch precedes any fetch of the target page and hits nothing.)
+	if want := uint64((2*iters - 1) * (mem.PageSize / 4)); st.UopInvalidations != want {
+		t.Errorf("UopInvalidations = %d, want %d", st.UopInvalidations, want)
+	}
+	if st.UopResolves < st.UopInvalidations {
+		t.Errorf("UopResolves = %d < invalidations %d: invalidated pages not re-resolved",
+			st.UopResolves, st.UopInvalidations)
 	}
 }

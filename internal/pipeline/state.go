@@ -9,8 +9,12 @@
 // slot participates in the cycle-tag aliasing check (cycle[i] != c), so
 // dropping "expired" entries would change future probe results. The
 // predecoder is captured as metadata only (which pages, LRU stamps);
-// Restore re-decodes the instructions from the restored memory, which the
-// invalidation hook guarantees is equivalent to what was cached.
+// Restore re-decodes the micro-ops from the restored memory — resolution
+// is a pure function of the instruction word, and the invalidation hook
+// guarantees the restored bytes are what was cached — so the rebuilt uop
+// cache is bit-identical to the donor's. The in-flight expansion
+// likewise serializes only the instructions; derived uop fields
+// re-resolve on restore.
 //
 // Event edges (the next-cycle-anything-changes values the timing core
 // consults instead of re-deriving per-resource state) are either carried
@@ -106,6 +110,7 @@ type predState struct {
 	loPN, hiPN uint64
 
 	hits, decodes, evictions, invalidations uint64
+	resolves, uopInvals                     uint64
 }
 
 func (d *predecoder) snapshot() predState {
@@ -119,6 +124,8 @@ func (d *predecoder) snapshot() predState {
 		decodes:       d.decodes,
 		evictions:     d.evictions,
 		invalidations: d.invalidations,
+		resolves:      d.resolves,
+		uopInvals:     d.uopInvals,
 	}
 	st.pages = make([]predPageState, 0, len(d.pages))
 	for pn, pg := range d.pages {
@@ -148,7 +155,7 @@ func (d *predecoder) restore(st *predState) {
 		pg := new(decodedPage)
 		base := ps.pn * mem.PageSize
 		for i := 0; i < instsPerPage; i++ {
-			pg.insts[i] = isa.Decode(d.m.ReadInst(base + uint64(i)*4))
+			pg.uops[i] = isa.DecodeUop(d.m.ReadInst(base + uint64(i)*4))
 		}
 		pg.lastUse = ps.lastUse
 		d.pages[ps.pn] = pg
@@ -157,7 +164,7 @@ func (d *predecoder) restore(st *predState) {
 	d.lastPN = st.lastPN
 	if st.lastValid {
 		d.lastPage = d.pages[st.lastPN]
-		d.win, d.winBase = &d.lastPage.insts, st.lastPN*mem.PageSize
+		d.win, d.winBase = &d.lastPage.uops, st.lastPN*mem.PageSize
 	} else {
 		d.lastPage = nil
 		d.win, d.winBase = nil, noWindow
@@ -165,6 +172,7 @@ func (d *predecoder) restore(st *predState) {
 	d.loPN, d.hiPN = st.loPN, st.hiPN
 	d.hits, d.decodes = st.hits, st.decodes
 	d.evictions, d.invalidations = st.evictions, st.invalidations
+	d.resolves, d.uopInvals = st.resolves, st.uopInvals
 }
 
 // State is a point-in-time copy of a Core. It does not capture the
@@ -180,7 +188,7 @@ type State struct {
 
 	expValid        bool
 	expProd         *dise.Production
-	expInsts        []isa.Inst
+	expUops         []isa.Uop
 	expExtraLatency int
 
 	inDiseFunc bool
@@ -267,7 +275,7 @@ func (c *Core) Snapshot() *State {
 	if c.exp != nil {
 		st.expValid = true
 		st.expProd = c.exp.Prod
-		st.expInsts = append([]isa.Inst(nil), c.exp.Insts...)
+		st.expUops = append([]isa.Uop(nil), c.exp.Uops...)
 		st.expExtraLatency = c.exp.ExtraLatency
 	}
 	return st
@@ -287,10 +295,10 @@ func (c *Core) Restore(st *State) {
 
 	c.pc, c.dpc = st.pc, st.dpc
 	if st.expValid {
-		c.expScratch = append(c.expScratch[:0], st.expInsts...)
+		c.expScratch = append(c.expScratch[:0], st.expUops...)
 		c.expBuf = dise.Expansion{
 			Prod:         st.expProd,
-			Insts:        c.expScratch,
+			Uops:         c.expScratch,
 			ExtraLatency: st.expExtraLatency,
 		}
 		c.exp = &c.expBuf
@@ -360,9 +368,11 @@ func (st *State) AppendBinary(dst []byte, expProdIdx int) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(st.dpc)))
 	dst = appendFlag(dst, st.expValid)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(expProdIdx)))
-	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(st.expInsts)))
-	for i := range st.expInsts {
-		dst = appendInst(dst, &st.expInsts[i])
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(st.expUops)))
+	for i := range st.expUops {
+		// Only the instruction is encoded; the derived uop fields are a
+		// pure function of it and re-resolve on restore.
+		dst = appendInst(dst, &st.expUops[i].Inst)
 	}
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(st.expExtraLatency)))
 	dst = appendFlag(dst, st.inDiseFunc)
@@ -470,6 +480,8 @@ func appendPred(dst []byte, p *predState) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, p.decodes)
 	dst = binary.LittleEndian.AppendUint64(dst, p.evictions)
 	dst = binary.LittleEndian.AppendUint64(dst, p.invalidations)
+	dst = binary.LittleEndian.AppendUint64(dst, p.resolves)
+	dst = binary.LittleEndian.AppendUint64(dst, p.uopInvals)
 	return dst
 }
 
@@ -479,7 +491,8 @@ func appendStats(dst []byte, s *Stats) []byte {
 		s.Expansions, s.BranchMispredicts, s.DiseBranchFlushes,
 		s.DiseCallFlushes, s.TrapStallCycles, s.Traps, s.FreeTraps,
 		s.PredecodeHits, s.PredecodePageDecodes, s.PredecodeEvictions,
-		s.PredecodeInvalidations, s.HaltPC,
+		s.PredecodeInvalidations,
+		s.UopHits, s.UopResolves, s.UopInvalidations, s.HaltPC,
 	} {
 		dst = binary.LittleEndian.AppendUint64(dst, v)
 	}

@@ -128,6 +128,12 @@ type StatsJSON struct {
 	SpuriousValue uint64 `json:"spurious_value"`
 	SpuriousPred  uint64 `json:"spurious_pred"`
 	TrapStalls    uint64 `json:"trap_stall_cycles"`
+
+	// Decoded-uop dispatch amortization (see pipeline.Stats).
+	UopHits          uint64  `json:"uop_hits"`
+	UopResolves      uint64  `json:"uop_resolves"`
+	UopInvalidations uint64  `json:"uop_invalidations"`
+	UopReuse         float64 `json:"uop_reuse"`
 }
 
 func statsJSON(st pipeline.Stats, tr debug.TransitionStats) *StatsJSON {
@@ -142,6 +148,11 @@ func statsJSON(st pipeline.Stats, tr debug.TransitionStats) *StatsJSON {
 		SpuriousValue: tr.SpuriousValue,
 		SpuriousPred:  tr.SpuriousPred,
 		TrapStalls:    st.TrapStallCycles,
+
+		UopHits:          st.UopHits,
+		UopResolves:      st.UopResolves,
+		UopInvalidations: st.UopInvalidations,
+		UopReuse:         st.UopReuseRate(),
 	}
 }
 

@@ -871,7 +871,8 @@ func (s *Session) runQuantum(quantum uint64) bool {
 		return false
 	}
 	m := s.m
-	startInsts := m.Core.Stats().AppInsts
+	startStats := m.Core.Stats()
+	startInsts := startStats.AppInsts
 	target := startInsts + quantum
 	if s.target > 0 && target > s.target {
 		target = s.target
@@ -899,11 +900,12 @@ func (s *Session) runQuantum(quantum uint64) bool {
 	s.stats = m.Core.Stats()
 	s.trans = s.d.Stats()
 	s.trace.Append(obs.TraceEvent{
-		Kind:    TraceQEnd,
-		Quantum: nq,
-		PC:      m.Core.PC(),
-		DurNs:   int64(time.Since(t0)),
-		Insts:   s.stats.AppInsts - startInsts,
+		Kind:     TraceQEnd,
+		Quantum:  nq,
+		PC:       m.Core.PC(),
+		DurNs:    int64(time.Since(t0)),
+		Insts:    s.stats.AppInsts - startInsts,
+		UopReuse: quantumUopReuse(startStats, s.stats),
 	})
 	if ce := s.srv.cfg.CheckpointEvery; ce > 0 && err == nil && !m.Core.Halted() && !s.closeReq {
 		s.sinceChk++
@@ -946,4 +948,16 @@ func (s *Session) runQuantum(quantum uint64) bool {
 	}
 	s.cond.Broadcast()
 	return false
+}
+
+// quantumUopReuse computes the fraction of this quantum's dispatches that
+// were served from already-resolved micro-ops, from the cumulative
+// before/after pipeline statistics.
+func quantumUopReuse(before, after pipeline.Stats) float64 {
+	hits := after.UopHits - before.UopHits
+	resolves := after.UopResolves - before.UopResolves
+	if hits+resolves == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+resolves)
 }

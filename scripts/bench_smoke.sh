@@ -33,6 +33,15 @@ echo "-- cache micros (informational) --"
 go test -bench='BenchmarkCacheAccess$|BenchmarkHierarchyDataLatency$' \
     -run=NONE -benchtime=1s -count=1 ./internal/cache | grep -E 'Benchmark|^ok' || true
 
+# Dispatch micros (informational, not gated): the steady-state uop
+# dispatch loop — fetch from the pre-resolved uop cache through exec and
+# the fused time/advance — plain and with a store-class DISE production
+# installed. Both must stay 0 allocs/op (TestDispatchAllocFree enforces
+# it; -benchmem shows it here).
+echo "-- dispatch micros (informational) --"
+go test -bench='BenchmarkDispatch$' -benchmem \
+    -run=NONE -benchtime=1s -count=1 ./internal/pipeline | grep -E 'Benchmark|^ok' || true
+
 # Timing-core micros (informational, not gated): the booking reservation
 # shapes (the stall-vault case is the event-edge scheduler's reason to
 # exist) and the Core.time hot loop, event-edge vs the retained linear

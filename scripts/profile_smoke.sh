@@ -4,7 +4,10 @@
 # is one command. Usage: scripts/profile_smoke.sh [benchtime] [outdir]
 #
 # Artifacts land in outdir (default /tmp/dise-profile): cpu.pprof plus
-# the bench binary the profile resolves symbols against. Dig deeper with
+# the bench binary the profile resolves symbols against, and
+# leaders.txt — the top-15 flat leaders as a parseable table
+# (rank<TAB>flat%<TAB>cum%<TAB>function), the format checked in at
+# scripts/profile_leaders.txt. Dig deeper with
 #   go tool pprof <outdir>/bench.test <outdir>/cpu.pprof
 #
 # For a live service, run disesrv with -pprof localhost:6060 and use
@@ -21,3 +24,13 @@ go test -bench='BenchmarkSimulatorThroughput$' -run=NONE -benchtime="$benchtime"
 
 echo "-- flat leaders ($outdir/cpu.pprof) --"
 go tool pprof -top -nodecount=15 "$outdir/bench.test" "$outdir/cpu.pprof"
+
+# Re-emit the leaders as a machine-parseable table: strip the pprof
+# header, keep rank, flat%, cum%, and the symbol. Sample counts and
+# absolute times vary run to run; the percentage shape is what leader
+# snapshots compare.
+go tool pprof -top -nodecount=15 "$outdir/bench.test" "$outdir/cpu.pprof" 2>/dev/null |
+    awk 'f { n++; printf "%d\t%s\t%s\t", n, $2, $5; for (i = 6; i <= NF; i++) printf "%s%s", $i, (i < NF ? " " : ""); print "" } /^ *flat +flat% +sum%/ { f = 1 }' \
+    > "$outdir/leaders.txt"
+echo "-- parseable table ($outdir/leaders.txt) --"
+cat "$outdir/leaders.txt"
