@@ -231,3 +231,135 @@ func TestTimingDifferentialWithDise(t *testing.T) {
 		t.Fatalf("uop counters dead: hits=%d resolves=%d", ev.Pipe.UopHits, ev.Pipe.UopResolves)
 	}
 }
+
+// genCommitSatProgram emits long runs of independent 1-cycle ALU ops —
+// eight interleaved self-increment chains give the width-4 core more ILP
+// than commit bandwidth — so the commit table fills every cycle to its
+// limit and the monotone cursor spends its life on the full-cycle spill
+// path rather than the fill path.
+func genCommitSatProgram(iters int) string {
+	var b strings.Builder
+	b.WriteString(".text\n.entry main\nmain:\n")
+	fmt.Fprintf(&b, "    li  r9, %d\n", iters)
+	b.WriteString("outer:\n")
+	for i := 0; i < 400; i++ {
+		r := 1 + i%8
+		fmt.Fprintf(&b, "    addq r%d, #1, r%d\n", r, r)
+	}
+	b.WriteString("    subq r9, #1, r9\n")
+	b.WriteString("    bne r9, outer\n")
+	b.WriteString("    halt\n")
+	return b.String()
+}
+
+// genLSQFullProgram emits dense back-to-back memory traffic: every
+// instruction is a load or store, so in-flight memory ops pin the LSQ
+// ring at capacity and the LSQ occupancy edge — not arrival — decides
+// most dispatch cycles. Mixed sizes and a deterministic stride pattern
+// keep store-forwarding hits, partial overlaps, and drained-store cache
+// probes all in play while the ring wraps.
+func genLSQFullProgram(iters int) string {
+	var b strings.Builder
+	b.WriteString(".data\n.align 8\narr: .space 2048\n")
+	b.WriteString(".text\n.entry main\nmain:\n")
+	b.WriteString("    la  r10, arr\n")
+	fmt.Fprintf(&b, "    li  r9, %d\n", iters)
+	b.WriteString("outer:\n")
+	for i := 0; i < 300; i++ {
+		off := (i * 56) % 2040
+		r := 1 + i%8
+		switch i % 4 {
+		case 0:
+			fmt.Fprintf(&b, "    stq r%d, %d(r10)\n", r, off&^7)
+		case 1:
+			fmt.Fprintf(&b, "    ldq r%d, %d(r10)\n", r, off&^7)
+		case 2:
+			fmt.Fprintf(&b, "    stb r%d, %d(r10)\n", r, off)
+		default:
+			fmt.Fprintf(&b, "    ldw r%d, %d(r10)\n", r, off&^1)
+		}
+	}
+	b.WriteString("    subq r9, #1, r9\n")
+	b.WriteString("    bne r9, outer\n")
+	b.WriteString("    halt\n")
+	return b.String()
+}
+
+// watchAllHooks installs a production over the given class so the stream
+// under test runs with expansion bursts live — the grouped fetch/dispatch/
+// commit reservations must stay bit-identical to the linear reference
+// even when the saturated table keeps spilling.
+func watchAllHooks(t *testing.T, class isa.Class) func(*Machine) {
+	return func(m *Machine) {
+		p := &dise.Production{
+			Name:    "watch-all",
+			Pattern: dise.MatchClass(class),
+			Replacement: []dise.TemplateInst{
+				dise.TInst(),
+				dise.OpIT(isa.OpAddq, dise.DReg(isa.DR0), 1, dise.DReg(isa.DR0)),
+				dise.OpIT(isa.OpAddq, dise.DReg(isa.DR1), 1, dise.DReg(isa.DR1)),
+			},
+		}
+		if err := m.Engine.Install(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTimingDifferentialCommitSaturation pins the monotone commit/dispatch
+// cursors at their saturated edge: long runs of 1-cycle ALU ops commit at
+// full width every cycle, with and without DISE expansion bursts layered
+// on top (the grouped path spills exactly like the cursor it replaces).
+func TestTimingDifferentialCommitSaturation(t *testing.T) {
+	cfg := DefaultConfig()
+	t.Run("plain", func(t *testing.T) {
+		ev, lin := runTimingPair(t, cfg, genCommitSatProgram(12), nil)
+		if ev != lin {
+			t.Fatalf("event-edge and linear timing diverged under commit saturation:\n event %+v\nlinear %+v", ev, lin)
+		}
+		if ev.Pipe.AppInsts < 4000 {
+			t.Fatalf("stream too short: %d committed app instructions, want >= 4000", ev.Pipe.AppInsts)
+		}
+		if ev.Pipe.Cycles >= ev.Pipe.AppInsts {
+			t.Fatalf("IPC below 1 (%d insts in %d cycles): commit bandwidth never saturated",
+				ev.Pipe.AppInsts, ev.Pipe.Cycles)
+		}
+	})
+	t.Run("dise", func(t *testing.T) {
+		ev, lin := runTimingPair(t, cfg, genCommitSatProgram(12), watchAllHooks(t, isa.ClassIntALU))
+		if ev != lin {
+			t.Fatalf("event-edge and linear timing diverged under commit saturation with DISE:\n event %+v\nlinear %+v", ev, lin)
+		}
+		if ev.Pipe.Expansions == 0 {
+			t.Fatal("productions never expanded — the burst path never ran")
+		}
+	})
+}
+
+// TestTimingDifferentialLSQFull pins the LSQ-occupancy edge: every
+// instruction is a memory op, so the LSQ ring stays full and its edge
+// gates dispatch, with and without store-burst expansions on top.
+func TestTimingDifferentialLSQFull(t *testing.T) {
+	cfg := DefaultConfig()
+	t.Run("plain", func(t *testing.T) {
+		ev, lin := runTimingPair(t, cfg, genLSQFullProgram(16), nil)
+		if ev != lin {
+			t.Fatalf("event-edge and linear timing diverged with the LSQ full:\n event %+v\nlinear %+v", ev, lin)
+		}
+		if ev.Pipe.AppInsts < 4000 {
+			t.Fatalf("stream too short: %d committed app instructions, want >= 4000", ev.Pipe.AppInsts)
+		}
+		if ev.Pipe.Loads == 0 || ev.Pipe.Stores == 0 {
+			t.Fatalf("memory traffic dead: loads=%d stores=%d", ev.Pipe.Loads, ev.Pipe.Stores)
+		}
+	})
+	t.Run("dise", func(t *testing.T) {
+		ev, lin := runTimingPair(t, cfg, genLSQFullProgram(16), watchAllHooks(t, isa.ClassStore))
+		if ev != lin {
+			t.Fatalf("event-edge and linear timing diverged with the LSQ full under DISE:\n event %+v\nlinear %+v", ev, lin)
+		}
+		if ev.Pipe.Expansions == 0 {
+			t.Fatal("productions never expanded — the burst path never ran")
+		}
+	})
+}

@@ -25,6 +25,17 @@ package pipeline
 // no edges consulted or maintained. The differential property tests run
 // both against identical request streams; they must return identical
 // cycles and leave identical cycle/count rings behind.
+//
+// Tables whose request streams are non-decreasing by construction — the
+// fetch, dispatch, and commit books, whose requests are clamped by the
+// core's lastFetch/lastDispatch/lastCommit — use the monotone cursor mode
+// instead (newMonoBooking): the only cycle whose count can still change is
+// the newest one, so the reservation state collapses to (curCycle,
+// curCount) and book becomes two word updates with no ring probe and no
+// interval maintenance. The ring is kept lazily coherent: a finished cycle
+// is flushed when the cursor advances past it, and materialize folds the
+// pending cursor in before the table is serialized, so the snapshot and
+// the linear-reference ring comparisons stay bit-identical.
 type booking struct {
 	cycle []uint64
 	count []uint16
@@ -34,19 +45,47 @@ type booking struct {
 	// reference core must never consult an edge.
 	linear bool
 
+	// mono selects the monotone cursor mode. Only valid when every
+	// request is >= the previous request's result (the caller clamps);
+	// bookMono clamps again internally so the invariant is structural.
+	mono bool
+
+	// Monotone cursor: the newest booked cycle and its count. All older
+	// cycles are immutable (requests are non-decreasing), so they live in
+	// the ring; the cursor cycle itself is flushed there lazily, when the
+	// cursor advances or the table is materialized for a snapshot.
+	curCycle uint64
+	curCount uint16
+
 	// fullLo/fullHi bound the known-full interval: every cycle in
 	// [fullLo, fullHi) holds limit bookings. Empty when fullLo >= fullHi.
 	// The invariant assumes a cycle's count never decreases, which holds
 	// as long as concurrently probed cycles stay within one ring span
 	// (1<<14 cycles) — the same aliasing assumption the ring itself makes.
+	// Monotone tables never maintain it (nothing ever probes below the
+	// cursor, so there is nothing to vault).
 	fullLo, fullHi uint64
 
 	// maxBooked is the next-free edge: no cycle above it holds a booking.
 	// It never decreases, and unlike the ring slots it does not alias, so
 	// the snapshot must carry it (state.go) — it is not reconstructible
 	// from the ring, whose entry at maxBooked may have been overwritten by
-	// a later reservation at a lower aliasing cycle.
+	// a later reservation at a lower aliasing cycle. Monotone tables
+	// maintain it only at materialize time (it equals curCycle).
 	maxBooked uint64
+
+	// In-flight booking group (bookN): pre-computed reservation cycles
+	// for a burst of future monotone requests, the slot contents the
+	// group's ring flushes overwrote, and the pre-group cursor, so an
+	// invalidated group can be rewound exactly. Backing arrays are reused
+	// across groups; steady-state group booking does not allocate.
+	grp    []uint64
+	grpIdx int
+	gsIdx  []uint64
+	gsCyc  []uint64
+	gsCnt  []uint16
+	gsCur  uint64
+	gsN    uint16
 }
 
 func newBooking(limit int, linear bool) *booking {
@@ -57,6 +96,15 @@ func newBooking(limit int, linear bool) *booking {
 		limit:  uint16(limit),
 		linear: linear,
 	}
+}
+
+// newMonoBooking builds a booking in the monotone cursor mode. In linear
+// mode the cursor is never engaged: the table must behave exactly like the
+// reference, ring writes included.
+func newMonoBooking(limit int, linear bool) *booking {
+	b := newBooking(limit, linear)
+	b.mono = !linear
+	return b
 }
 
 // book reserves the first cycle >= earliest with free capacity and returns
@@ -71,6 +119,9 @@ func newBooking(limit int, linear bool) *booking {
 func (b *booking) book(earliest uint64) uint64 {
 	if b.linear {
 		return b.bookRef(earliest)
+	}
+	if b.mono {
+		return b.bookMono(earliest)
 	}
 	if earliest > b.maxBooked {
 		// Past the next-free edge: every cycle from earliest on is empty,
@@ -175,6 +226,128 @@ func (b *booking) bookRef(earliest uint64) uint64 {
 	}
 }
 
+// bookMono is book in the monotone cursor mode. Requests are clamped to
+// the cursor, so no cycle below it can ever gain a booking and the probe
+// collapses: either the cursor cycle still has capacity (one increment),
+// or the reservation opens a fresh cycle (flush the finished one, reset
+// the cursor). It must return exactly what bookRef returns for the same
+// clamped stream and, once materialized, leave an identical ring — the
+// property tests drive both.
+func (b *booking) bookMono(earliest uint64) uint64 {
+	if earliest <= b.curCycle {
+		if b.curCount < b.limit {
+			b.curCount++
+			return b.curCycle
+		}
+		earliest = b.curCycle + 1
+	}
+	// The cursor advances: flush the finished cycle into the ring and
+	// open the requested one.
+	if b.curCount != 0 {
+		i := b.curCycle & uint64(len(b.cycle)-1)
+		b.cycle[i] = b.curCycle
+		b.count[i] = b.curCount
+	}
+	b.curCycle = earliest
+	b.curCount = 1
+	return earliest
+}
+
+// materialize folds the pending cursor into the ring and the maxBooked
+// edge so the serialized table matches what the same request stream would
+// have left eagerly: the snapshot encoding and the ring-parity property
+// tests read the table only through a materialize. Idempotent, and safe
+// on a live table — the cursor keeps going and simply re-flushes later.
+func (b *booking) materialize() {
+	if !b.mono {
+		return
+	}
+	if b.curCount != 0 {
+		i := b.curCycle & uint64(len(b.cycle)-1)
+		b.cycle[i] = b.curCycle
+		b.count[i] = b.curCount
+	}
+	b.maxBooked = b.curCycle
+}
+
+// groupBegin pre-books the next k monotone reservations in one ring
+// transaction (bookN): fill the cursor cycle to the limit, spill forward,
+// flushing finished cycles as the cursor advances. grp[j] is the cycle the
+// (j+1)th request will be granted under the constant-earliest assumption;
+// groupTake validates that assumption per request and groupAbort rewinds
+// the unconsumed tail exactly, so a group is semantically invisible — any
+// begin/take/abort interleaving leaves the table bit-identical to plain
+// sequential bookMono calls.
+func (b *booking) groupBegin(k int) {
+	b.grp = b.grp[:0]
+	b.grpIdx = 0
+	b.gsIdx, b.gsCyc, b.gsCnt = b.gsIdx[:0], b.gsCyc[:0], b.gsCnt[:0]
+	b.gsCur, b.gsN = b.curCycle, b.curCount
+	mask := uint64(len(b.cycle) - 1)
+	cyc, cnt := b.curCycle, b.curCount
+	for j := 0; j < k; j++ {
+		if cnt < b.limit {
+			cnt++
+		} else {
+			i := cyc & mask
+			b.gsIdx = append(b.gsIdx, i)
+			b.gsCyc = append(b.gsCyc, b.cycle[i])
+			b.gsCnt = append(b.gsCnt, b.count[i])
+			b.cycle[i] = cyc
+			b.count[i] = cnt
+			cyc++
+			cnt = 1
+		}
+		b.grp = append(b.grp, cyc)
+	}
+	b.curCycle, b.curCount = cyc, cnt
+}
+
+// groupTake consumes the next pre-booked slot if the actual request is
+// compatible with it. The admissibility check is exactly e <= grp[idx]:
+// when the slot is a fill of cycle C, any request <= C clamps to C and
+// lands there; when it is a spill to C+1 (the previous cycle was full), a
+// request of C+1 itself opens that cycle just like the spill did, and
+// anything lower clamps into the same spill — in both shapes the
+// resulting cursor state matches the group's assumption, so consumption
+// is bit-equivalent to the bookMono call it replaces. An incompatible
+// request (the burst hit a stall the group did not assume) aborts the
+// remainder; the caller falls back to a plain book.
+func (b *booking) groupTake(earliest uint64) (uint64, bool) {
+	if i := b.grpIdx; i < len(b.grp) && earliest <= b.grp[i] {
+		b.grpIdx = i + 1
+		return b.grp[i], true
+	}
+	b.groupAbort()
+	return 0, false
+}
+
+// groupAbort rewinds the unconsumed tail of the in-flight group: restore
+// the ring slots the group's flushes overwrote and the pre-group cursor,
+// then replay the consumed prefix (each grp[j] is its own admissible
+// request, so the replay reproduces the exact flushes and cursor a
+// sequential stream would have left). A fully consumed group has nothing
+// to rewind and just clears.
+func (b *booking) groupAbort() {
+	if len(b.grp) == 0 {
+		return
+	}
+	if consumed := b.grpIdx; consumed < len(b.grp) {
+		for j := len(b.gsIdx) - 1; j >= 0; j-- {
+			i := b.gsIdx[j]
+			b.cycle[i] = b.gsCyc[j]
+			b.count[i] = b.gsCnt[j]
+		}
+		b.curCycle, b.curCount = b.gsCur, b.gsN
+		for j := 0; j < consumed; j++ {
+			b.bookMono(b.grp[j])
+		}
+	}
+	b.grp = b.grp[:0]
+	b.grpIdx = 0
+	b.gsIdx, b.gsCyc, b.gsCnt = b.gsIdx[:0], b.gsCyc[:0], b.gsCnt[:0]
+}
+
 // noteFull records that every cycle in [start, end) is fully booked,
 // merging with or replacing the known-full interval.
 func (b *booking) noteFull(start, end uint64) {
@@ -205,6 +378,11 @@ func (b *booking) reset() {
 	clear(b.count)
 	b.fullLo, b.fullHi = 0, 0
 	b.maxBooked = 0
+	b.curCycle, b.curCount = 0, 0
+	b.grp = b.grp[:0]
+	b.grpIdx = 0
+	b.gsIdx, b.gsCyc, b.gsCnt = b.gsIdx[:0], b.gsCyc[:0], b.gsCnt[:0]
+	b.gsCur, b.gsN = 0, 0
 }
 
 // ring is a fixed-size history of cycle timestamps, used to model
@@ -212,17 +390,16 @@ func (b *booking) reset() {
 // load/store queue): entry i of a size-N structure is free once the
 // (i-N)th occupant released it.
 type ring struct {
-	buf  []uint64
-	head int // index of the oldest entry once full
-	tail int // index of the next write while filling
-	n    int
+	buf []uint64
+	pos int // next write index; the oldest entry's index once full
+	n   int
 
 	// edge is the occupancy event edge this ring imposes on dispatch: the
 	// first cycle the oldest occupant's slot is free again (oldest()+1)
 	// once the structure is full, 0 while it is still filling. push keeps
 	// it current, so Core.time reads one word instead of re-deriving
 	// fullness and the head entry per uop. It is a pure function of
-	// (buf, head, n), so restore reconstructs it instead of serializing
+	// (buf, pos, n), so restore reconstructs it instead of serializing
 	// it (state.go).
 	edge uint64
 }
@@ -231,31 +408,31 @@ func newRing(size int) *ring {
 	return &ring{buf: make([]uint64, size)}
 }
 
-// push records a release time and returns the release time of the entry
-// being recycled (0 when the structure has never been full). Rings are
-// pushed up to three times per uop (ROB, RS, LSQ), and sizes are not
-// powers of two, so the wrap is a compare rather than a modulo.
-func (r *ring) push(release uint64) (prevRelease uint64) {
+// push records a release time and reports whether the occupancy edge
+// moved. One write index covers both phases — while filling it is the
+// next free slot, once full it is the oldest entry (which the push
+// recycles in place) — so the old entry is never read back: the edge
+// advances straight off the new oldest slot, and the common push where
+// consecutive occupants release on the same cycle (a width-4 group
+// commits together) reports no movement, letting the caller skip the
+// structEdge refold entirely. Rings are pushed up to three times per uop
+// (ROB, RS, LSQ), and sizes are not powers of two, so the wrap is a
+// compare rather than a modulo.
+func (r *ring) push(release uint64) (moved bool) {
+	r.buf[r.pos] = release
+	if r.pos++; r.pos == len(r.buf) {
+		r.pos = 0
+	}
 	if r.n < len(r.buf) {
-		r.buf[r.tail] = release
-		r.tail++
-		if r.tail == len(r.buf) {
-			r.tail = 0
+		if r.n++; r.n < len(r.buf) {
+			return false
 		}
-		r.n++
-		if r.n == len(r.buf) {
-			r.edge = r.buf[r.head] + 1
-		}
-		return 0
 	}
-	prev := r.buf[r.head]
-	r.buf[r.head] = release
-	r.head++
-	if r.head == len(r.buf) {
-		r.head = 0
+	if e := r.buf[r.pos] + 1; e != r.edge {
+		r.edge = e
+		return true
 	}
-	r.edge = r.buf[r.head] + 1
-	return prev
+	return false
 }
 
 // oldest returns the oldest release time without modifying the ring. The
@@ -265,12 +442,12 @@ func (r *ring) oldest() (uint64, bool) {
 	if r.n < len(r.buf) {
 		return 0, false
 	}
-	return r.buf[r.head], true
+	return r.buf[r.pos], true
 }
 
 // reset returns the ring to its post-newRing state.
 func (r *ring) reset() {
 	clear(r.buf)
-	r.head, r.tail, r.n = 0, 0, 0
+	r.pos, r.n = 0, 0
 	r.edge = 0
 }

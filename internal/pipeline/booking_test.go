@@ -160,15 +160,133 @@ func TestRingWrapNonPowerOfTwo(t *testing.T) {
 					size, i, gotOld, gotFull, wantOld, wantFull)
 			}
 
-			wantPrev := uint64(0)
 			if len(fifo) == size {
-				wantPrev = fifo[0]
 				fifo = fifo[1:]
 			}
 			fifo = append(fifo, v)
-			if gotPrev := r.push(v); gotPrev != wantPrev {
-				t.Fatalf("size=%d step=%d push(%d) = %d, want %d",
-					size, i, v, gotPrev, wantPrev)
+			wantEdge := uint64(0)
+			if len(fifo) == size {
+				wantEdge = fifo[0] + 1
+			}
+			oldEdge := r.edge
+			if moved := r.push(v); moved != (wantEdge != oldEdge) {
+				t.Fatalf("size=%d step=%d push(%d) moved = %v, want %v (edge %d -> %d)",
+					size, i, v, moved, wantEdge != oldEdge, oldEdge, wantEdge)
+			}
+			if r.edge != wantEdge {
+				t.Fatalf("size=%d step=%d push(%d) edge = %d, want %d",
+					size, i, v, r.edge, wantEdge)
+			}
+		}
+	}
+}
+
+// TestBookingMonotoneMatchesReference drives the monotone cursor mode,
+// the linear reference (bookRef), and the test's independent reference
+// with identical clamped request streams — the non-decreasing-by-
+// construction shape the fetch/dispatch/commit tables see, stall jumps
+// included — and requires bit-equal results; after a materialize the lazy
+// ring must be bit-identical to the linear one and maxBooked must name
+// the cursor (the snapshot contract).
+func TestBookingMonotoneMatchesReference(t *testing.T) {
+	for _, limit := range []int{1, 2, 4} {
+		rng := rand.New(rand.NewSource(int64(91 + limit)))
+		b := newMonoBooking(limit, false)
+		lin := newMonoBooking(limit, true)
+		ref := newRefBooking(limit)
+		earliest := uint64(1)
+		last := uint64(0)
+		for i := 0; i < 200_000; i++ {
+			switch rng.Intn(100) {
+			case 0:
+				earliest += uint64(rng.Intn(5000)) // stall-like jump
+			default:
+				earliest += uint64(rng.Intn(3))
+			}
+			req := earliest
+			if req < last {
+				req = last // callers clamp by the previous result
+			}
+			got, want := b.book(req), ref.book(req)
+			if got != want {
+				t.Fatalf("limit=%d step=%d mono book(%d) = %d, reference = %d",
+					limit, i, req, got, want)
+			}
+			if lg := lin.book(req); lg != want {
+				t.Fatalf("limit=%d step=%d linear book(%d) = %d, reference = %d",
+					limit, i, req, lg, want)
+			}
+			last = got
+		}
+		b.materialize()
+		if b.maxBooked != last {
+			t.Fatalf("limit=%d materialized maxBooked = %d, want %d", limit, b.maxBooked, last)
+		}
+		for i := range b.cycle {
+			if b.cycle[i] != lin.cycle[i] || b.count[i] != lin.count[i] {
+				t.Fatalf("limit=%d ring slot %d diverged: mono (%d,%d) vs linear (%d,%d)",
+					limit, i, b.cycle[i], b.count[i], lin.cycle[i], lin.count[i])
+			}
+		}
+	}
+}
+
+// TestBookingGroupMatchesSequential mixes group pre-booking (bookN via
+// groupBegin/groupTake), plain monotone books, random mid-group aborts,
+// and stall jumps that invalidate a group's constant-earliest assumption,
+// against both an ungrouped monotone booking and the independent
+// reference. Groups must be semantically invisible: identical returned
+// cycles, and — after retiring the last group and materializing — a
+// bit-identical ring and cursor.
+func TestBookingGroupMatchesSequential(t *testing.T) {
+	for _, limit := range []int{1, 2, 4} {
+		rng := rand.New(rand.NewSource(int64(173 + limit)))
+		g := newMonoBooking(limit, false) // grouped
+		s := newMonoBooking(limit, false) // plain sequential
+		ref := newRefBooking(limit)
+		last := uint64(0)
+		for i := 0; i < 100_000; i++ {
+			if len(g.grp) == 0 && rng.Intn(8) == 0 {
+				g.groupBegin(1 + rng.Intn(12))
+			}
+			req := last
+			switch rng.Intn(16) {
+			case 0:
+				req += uint64(rng.Intn(60)) // stall: usually bails the group
+			case 1, 2, 3:
+				req += 1
+			}
+			var got uint64
+			if len(g.grp) != 0 {
+				var ok bool
+				if got, ok = g.groupTake(req); !ok {
+					got = g.book(req)
+				}
+			} else {
+				got = g.book(req)
+			}
+			want := s.book(req)
+			refw := ref.book(req)
+			if got != want || want != refw {
+				t.Fatalf("limit=%d step=%d book(%d): grouped %d, sequential %d, reference %d",
+					limit, i, req, got, want, refw)
+			}
+			last = got
+			if rng.Intn(32) == 0 {
+				g.groupAbort()
+			}
+		}
+		g.groupAbort()
+		g.materialize()
+		s.materialize()
+		if g.curCycle != s.curCycle || g.curCount != s.curCount || g.maxBooked != s.maxBooked {
+			t.Fatalf("limit=%d cursor diverged: grouped (%d,%d,%d) vs sequential (%d,%d,%d)",
+				limit, g.curCycle, g.curCount, g.maxBooked, s.curCycle, s.curCount, s.maxBooked)
+		}
+		for i := range g.cycle {
+			if g.cycle[i] != s.cycle[i] || g.count[i] != s.count[i] {
+				t.Fatalf("limit=%d ring slot %d diverged: grouped (%d,%d) vs sequential (%d,%d)",
+					limit, i, g.cycle[i], g.count[i], s.cycle[i], s.count[i])
 			}
 		}
 	}
@@ -211,6 +329,41 @@ func BenchmarkBooking(b *testing.B) {
 			}
 		})
 	}
+	// The monotone cursor mode (fetch/dispatch/commit tables) and the
+	// coalesced group path (DISE expansion bursts), reported
+	// informationally by scripts/bench_smoke.sh alongside the modes above.
+	b.Run("monotone/chain", func(b *testing.B) {
+		bk := newMonoBooking(4, false)
+		for i := 0; i < b.N; i++ {
+			bk.book(uint64(i))
+		}
+	})
+	b.Run("monotone/lockstep", func(b *testing.B) {
+		// Width-limited fill: four requests land per cycle, the common
+		// dispatch/commit shape.
+		bk := newMonoBooking(4, false)
+		var last uint64
+		for i := 0; i < b.N; i++ {
+			last = bk.book(last)
+		}
+	})
+	b.Run("group/burst", func(b *testing.B) {
+		// Pre-book 8-uop bursts and consume them in lockstep, the DISE
+		// expansion shape beginBurstGroups feeds.
+		const k = 8
+		bk := newMonoBooking(4, false)
+		var last uint64
+		for i := 0; i < b.N; i += k {
+			bk.groupBegin(k)
+			for j := 0; j < k; j++ {
+				if at, ok := bk.groupTake(last); ok {
+					last = at
+				} else {
+					last = bk.book(last)
+				}
+			}
+		}
+	})
 }
 
 // TestStoreQueueBulkRetire drives the store queue via its core-level

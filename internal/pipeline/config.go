@@ -28,8 +28,14 @@
 // function units, load ports) keep a known-full interval and a next-free
 // edge, so long fully-booked runs — e.g. commit slots across a
 // debugger-transition stall — are vaulted and reservations past all
-// existing bookings cost O(1) (see booking.go); the ROB/RS/LSQ occupancy
-// rings precompute their dispatch edge at push time; the store queue
+// existing bookings cost O(1) (see booking.go); the fetch, dispatch,
+// and commit books additionally exploit their monotone request streams
+// with a (cycle, count) cursor — two word updates per reservation, the
+// ring kept lazily coherent — and batch a DISE expansion burst's
+// reservations into pre-booked issue groups, consumed (or exactly
+// rewound) as the burst dispatches; the ROB/RS/LSQ occupancy
+// rings maintain their dispatch edge incrementally at push time; the
+// store queue
 // exposes a next-drain edge (storeQMaxCommit) and an occupancy count
 // that bound its search; and the fetch path keeps line- and
 // page-granular refill windows (lastFetchLine, the predecoder MRU

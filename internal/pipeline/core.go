@@ -51,6 +51,17 @@ type Core struct {
 	lastDispatch uint64
 	lastCommit   uint64
 
+	// grpActive is true while the fetch/dispatch/commit books carry an
+	// in-flight issue group for the current DISE expansion burst: the
+	// burst's reservations were pre-booked in one ring transaction per
+	// table (booking.groupBegin) and each uop consumes its slot with one
+	// compare (groupTake). Groups are semantically invisible — a slot is
+	// consumed only when the actual request would have been granted that
+	// exact cycle, and anything unconsumed is rewound bit-exactly — so
+	// they never outlive a snapshot (Snapshot aborts them) and the linear
+	// reference never builds them.
+	grpActive bool
+
 	aluBook  *booking
 	mulBook  *booking
 	loadBook *booking
@@ -135,10 +146,13 @@ func New(cfg Config, m *mem.Memory, hier *cache.Hierarchy, bp *bpred.Predictor, 
 		Hier:         hier,
 		BP:           bp,
 		Engine:       eng,
-		linear:       cfg.LinearTiming,
-		fetchBook:    newBooking(cfg.Width, cfg.LinearTiming),
-		dispatchBook: newBooking(cfg.Width, cfg.LinearTiming),
-		commitBook:   newBooking(cfg.Width, cfg.LinearTiming),
+		linear: cfg.LinearTiming,
+		// Fetch, dispatch, and commit requests are non-decreasing by
+		// construction (each is clamped by the previous result), so these
+		// three tables run in the monotone cursor mode.
+		fetchBook:    newMonoBooking(cfg.Width, cfg.LinearTiming),
+		dispatchBook: newMonoBooking(cfg.Width, cfg.LinearTiming),
+		commitBook:   newMonoBooking(cfg.Width, cfg.LinearTiming),
 		aluBook:      newBooking(cfg.IntALUs, cfg.LinearTiming),
 		mulBook:      newBooking(cfg.IntMuls, cfg.LinearTiming),
 		loadBook:     newBooking(cfg.LoadPorts, cfg.LinearTiming),
@@ -203,6 +217,7 @@ func (c *Core) Reset() {
 	c.dispatchBook.reset()
 	c.commitBook.reset()
 	c.lastFetch, c.lastDispatch, c.lastCommit = 0, 0, 0
+	c.grpActive = false
 	c.aluBook.reset()
 	c.mulBook.reset()
 	c.loadBook.reset()
@@ -308,6 +323,21 @@ func (c *Core) RequestStop() { c.stopReq = true }
 // replacement buffers, or the expansion scratch — so nothing here
 // re-derives per-instruction facts; exec and time read fields.
 func (c *Core) step() {
+	// Issue-group maintenance: a burst that ended retires its groups
+	// (rewinding whatever it did not consume), and a burst entering its
+	// second uop pre-books the remainder in one group per table. The
+	// begin fires here, after the trigger's own bookings have advanced
+	// the cursors, and also re-arms a sequence resumed after a DISE call.
+	if c.grpActive {
+		if c.exp == nil {
+			c.endBurstGroups()
+		}
+	} else if c.exp != nil && !c.linear {
+		if rem := len(c.exp.Uops) - (c.dpc - 1); rem >= 2 {
+			c.beginBurstGroups(rem)
+		}
+	}
+
 	pc, dpc := c.pc, c.dpc
 	var u *isa.Uop
 	expExtra := 0
@@ -369,10 +399,41 @@ func (c *Core) fetchAt(pc uint64, dpc int, expExtra uint64) uint64 {
 			c.lastFetchLine = line
 		}
 	}
-	at := c.fetchBook.book(earliest)
+	var at uint64
+	if c.grpActive {
+		var ok bool
+		if at, ok = c.fetchBook.groupTake(earliest); !ok {
+			at = c.fetchBook.book(earliest)
+		}
+	} else {
+		at = c.fetchBook.book(earliest)
+	}
 	c.lastFetch = at
 	c.fetchCursor = at
 	return at + expExtra
+}
+
+// beginBurstGroups pre-books the next k fetch, dispatch, and commit
+// reservations as one group per table: a replacement burst's uops flow
+// through all three tables back to back, so the group's constant-earliest
+// assumption holds for the whole burst whenever nothing (a trap stall, a
+// cache miss, an operand stall) pushes an individual uop past its
+// pre-booked slot — and when something does, that table's group aborts
+// and the uop books normally.
+func (c *Core) beginBurstGroups(k int) {
+	c.fetchBook.groupBegin(k)
+	c.dispatchBook.groupBegin(k)
+	c.commitBook.groupBegin(k)
+	c.grpActive = true
+}
+
+// endBurstGroups retires the burst's issue groups, rewinding unconsumed
+// reservations so the tables are bit-identical to a never-grouped run.
+func (c *Core) endBurstGroups() {
+	c.fetchBook.groupAbort()
+	c.dispatchBook.groupAbort()
+	c.commitBook.groupAbort()
+	c.grpActive = false
 }
 
 // execResult carries the functional outcome a uop's timing needs.
@@ -632,7 +693,15 @@ func (c *Core) time(u *isa.Uop, ev *execResult, fetchAt uint64, inDise, inFunc b
 	if earliest < c.lastDispatch {
 		earliest = c.lastDispatch
 	}
-	dispatchAt := c.dispatchBook.book(earliest)
+	var dispatchAt uint64
+	if c.grpActive {
+		var ok bool
+		if dispatchAt, ok = c.dispatchBook.groupTake(earliest); !ok {
+			dispatchAt = c.dispatchBook.book(earliest)
+		}
+	} else {
+		dispatchAt = c.dispatchBook.book(earliest)
+	}
 	c.lastDispatch = dispatchAt
 
 	// Operand readiness, over the pre-resolved source references.
@@ -693,17 +762,28 @@ func (c *Core) time(u *isa.Uop, ev *execResult, fetchAt uint64, inDise, inFunc b
 	if commitEarliest < c.lastCommit {
 		commitEarliest = c.lastCommit
 	}
-	commitAt := c.commitBook.book(commitEarliest)
+	var commitAt uint64
+	if c.grpActive {
+		var ok bool
+		if commitAt, ok = c.commitBook.groupTake(commitEarliest); !ok {
+			commitAt = c.commitBook.book(commitEarliest)
+		}
+	} else {
+		commitAt = c.commitBook.book(commitEarliest)
+	}
 	c.lastCommit = commitAt
 
-	// Structure releases. The pushes refresh each ring's own edge; fold
-	// the ROB/RS pair into the aggregate the next uop will read.
-	c.robRing.push(commitAt)
-	c.rsRing.push(issueAt + 1)
-	if se := c.rsRing.edge; se > c.robRing.edge {
-		c.structEdge = se
-	} else {
-		c.structEdge = c.robRing.edge
+	// Structure releases. The pushes refresh each ring's own edge; the
+	// ROB/RS aggregate refolds only when a push actually moved an edge —
+	// consecutive occupants usually release on the same cycle, so most
+	// pushes move nothing.
+	moved := c.robRing.push(commitAt)
+	if c.rsRing.push(issueAt+1) || moved {
+		if se := c.rsRing.edge; se > c.robRing.edge {
+			c.structEdge = se
+		} else {
+			c.structEdge = c.robRing.edge
+		}
 	}
 	if isMem {
 		c.lsqRing.push(commitAt)
@@ -930,13 +1010,15 @@ func (c *Core) pushStoreQ(addr uint64, size int, dataDone, commit uint64) {
 	if c.storeQHead++; c.storeQHead == len(c.storeQ) {
 		c.storeQHead = 0
 	}
+	// Commit cycles are booked in order (commitBook requests are clamped
+	// by lastCommit), so the newest store's commit IS the drain edge — no
+	// comparison against the previous edge needed, including right after
+	// a bulk retire zeroed it.
+	c.storeQMaxCommit = commit
 	if addr < c.storeQLo {
 		c.storeQLo = addr
 	}
 	if e := addr + uint64(size); e > c.storeQHi {
 		c.storeQHi = e
-	}
-	if commit > c.storeQMaxCommit {
-		c.storeQMaxCommit = commit
 	}
 }

@@ -32,14 +32,40 @@ loop:
     br  loop
 `
 
-// dispatchMachine loads the kernel and runs it past the cold-start
+// storeKernel is the store-heavy steady-state loop: most instructions are
+// stores of mixed sizes over one hot line, with one forwarding load, so
+// the store-queue push (and its drain-edge bookkeeping) dominates the way
+// a logging or memset-style workload would.
+const storeKernel = `
+.data
+.align 8
+buf: .space 64
+.text
+.entry main
+main:
+    la  r10, buf
+loop:
+    addq r1, #1, r1
+    stq r1, 0(r10)
+    stq r1, 8(r10)
+    stl r1, 16(r10)
+    stw r1, 24(r10)
+    stb r1, 32(r10)
+    ldq r2, 8(r10)
+    stq r2, 40(r10)
+    and r1, #7, r3
+    bne r3, loop
+    br  loop
+`
+
+// dispatchMachine loads a kernel and runs it past the cold-start
 // transient (page resolution, predictor warm-up, cache fills), returning
 // the machine and the cumulative app-instruction target reached. Core.Run
 // budgets are absolute cumulative targets, so steady-state chunks are
 // driven by bumping the target.
-func dispatchMachine(tb testing.TB, dise bool) (*machine.Machine, uint64) {
+func dispatchMachine(tb testing.TB, kernel string, dise bool) (*machine.Machine, uint64) {
 	tb.Helper()
-	p, err := asm.Assemble(dispatchKernel)
+	p, err := asm.Assemble(kernel)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -64,11 +90,16 @@ func dispatchMachine(tb testing.TB, dise bool) (*machine.Machine, uint64) {
 func BenchmarkDispatch(b *testing.B) {
 	const chunk = 10_000
 	for _, v := range []struct {
-		name string
-		dise bool
-	}{{"plain", false}, {"dise", true}} {
+		name   string
+		kernel string
+		dise   bool
+	}{
+		{"plain", dispatchKernel, false},
+		{"dise", dispatchKernel, true},
+		{"stores", storeKernel, false},
+	} {
 		b.Run(v.name, func(b *testing.B) {
-			m, target := dispatchMachine(b, v.dise)
+			m, target := dispatchMachine(b, v.kernel, v.dise)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -81,15 +112,21 @@ func BenchmarkDispatch(b *testing.B) {
 }
 
 // TestDispatchAllocFree pins the hot-loop invariant the dispatch refactor
-// must preserve: once warm, dispatching instructions — plain or through
-// DISE expansion — performs zero heap allocations.
+// must preserve: once warm, dispatching instructions — plain, through
+// DISE expansion (issue groups included), or store-dominated — performs
+// zero heap allocations.
 func TestDispatchAllocFree(t *testing.T) {
 	for _, v := range []struct {
-		name string
-		dise bool
-	}{{"plain", false}, {"dise", true}} {
+		name   string
+		kernel string
+		dise   bool
+	}{
+		{"plain", dispatchKernel, false},
+		{"dise", dispatchKernel, true},
+		{"stores", storeKernel, false},
+	} {
 		t.Run(v.name, func(t *testing.T) {
-			m, target := dispatchMachine(t, v.dise)
+			m, target := dispatchMachine(t, v.kernel, v.dise)
 			if allocs := testing.AllocsPerRun(50, func() {
 				target += 2_000
 				m.MustRun(target)

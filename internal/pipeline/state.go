@@ -23,9 +23,16 @@
 //
 //   - booking.maxBooked is serialized: a later reservation at a lower
 //     cycle can alias over the ring entry that held the maximum, so the
-//     ring alone under-reconstructs it;
-//   - ring.edge is recomputed from (buf, head, n) — push maintains it as
-//     exactly buf[head]+1 when full, 0 otherwise;
+//     ring alone under-reconstructs it. Monotone tables (fetch, dispatch,
+//     commit) serialize through materialize — the lazy (curCycle,
+//     curCount) cursor is flushed into the ring and maxBooked set to the
+//     cursor cycle — and restore rebuilds the cursor from maxBooked plus
+//     the slot it names, so neither the cursor nor any in-flight issue
+//     group (retired before capture) appears on the wire;
+//   - ring.edge is recomputed from the serialized (buf, head, n) — push
+//     maintains it as exactly oldest()+1 when full, 0 otherwise — and the
+//     ring's single write index maps to the head/tail pair the encoding
+//     has always carried (ring.snapshot);
 //   - Core.structEdge is recomputed as the max of the restored ROB/RS
 //     ring edges, which is precisely how the push site maintains it;
 //   - the store queue's drain edge (storeQMaxCommit) was already part of
@@ -49,6 +56,12 @@ type bookingState struct {
 }
 
 func (b *booking) snapshot() bookingState {
+	// A monotone table carries its newest cycle in the (curCycle,
+	// curCount) cursor and flushes it to the ring lazily; fold it in so
+	// the serialized ring is complete and maxBooked names the cursor
+	// cycle the restore rebuilds from. Safe on the live table: the
+	// cursor keeps going and re-flushes on its next advance.
+	b.materialize()
 	return bookingState{
 		cycle:     append([]uint64(nil), b.cycle...),
 		count:     append([]uint16(nil), b.count...),
@@ -66,6 +79,22 @@ func (b *booking) restore(st *bookingState) {
 	copy(b.count, st.count)
 	b.fullLo, b.fullHi = st.fullLo, st.fullHi
 	b.maxBooked = st.maxBooked
+	if b.mono {
+		// Rebuild the cursor from the materialized edge: the snapshot was
+		// taken through materialize, so the ring slot at maxBooked holds
+		// the cursor cycle's count (a fresh table has neither). In-flight
+		// groups never survive a snapshot (Core.Snapshot retires them).
+		b.curCycle = st.maxBooked
+		i := b.curCycle & uint64(len(b.cycle)-1)
+		if b.cycle[i] == b.curCycle {
+			b.curCount = b.count[i]
+		} else {
+			b.curCount = 0
+		}
+		b.grp = b.grp[:0]
+		b.grpIdx = 0
+		b.gsIdx, b.gsCyc, b.gsCnt = b.gsIdx[:0], b.gsCyc[:0], b.gsCnt[:0]
+	}
 }
 
 type ringState struct {
@@ -74,12 +103,21 @@ type ringState struct {
 }
 
 func (r *ring) snapshot() ringState {
-	return ringState{
-		buf:  append([]uint64(nil), r.buf...),
-		head: r.head,
-		tail: r.tail,
-		n:    r.n,
+	// The single write index maps onto the serialized head/tail pair the
+	// encoding has always carried: while filling the head is pinned at 0
+	// and the tail is the write index; once full the tail freezes at 0
+	// (it wrapped exactly when the ring filled) and the head is the write
+	// index (the oldest entry, recycled in place).
+	st := ringState{
+		buf: append([]uint64(nil), r.buf...),
+		n:   r.n,
 	}
+	if r.n == len(r.buf) {
+		st.head = r.pos
+	} else {
+		st.tail = r.pos
+	}
+	return st
 }
 
 func (r *ring) restore(st *ringState) {
@@ -87,12 +125,15 @@ func (r *ring) restore(st *ringState) {
 		panic("pipeline: ring restore geometry mismatch")
 	}
 	copy(r.buf, st.buf)
-	r.head, r.tail, r.n = st.head, st.tail, st.n
-	// Reconstruct the occupancy edge: push keeps it at exactly
-	// buf[head]+1 once the structure is full and 0 while it fills.
+	r.n = st.n
+	// Reconstruct the write index from the head/tail pair (see snapshot)
+	// and the occupancy edge: push keeps it at exactly oldest()+1 once
+	// the structure is full and 0 while it fills.
 	if r.n == len(r.buf) {
-		r.edge = r.buf[r.head] + 1
+		r.pos = st.head
+		r.edge = r.buf[r.pos] + 1
 	} else {
+		r.pos = st.tail
 		r.edge = 0
 	}
 }
@@ -227,8 +268,15 @@ func (st *State) Halted() bool { return st.halted }
 // it (via dise.State.IndexOf) to name the production by table index.
 func (st *State) ExpansionProd() *dise.Production { return st.expProd }
 
-// Snapshot captures the core state.
+// Snapshot captures the core state. A live issue group (a snapshot can
+// land mid-burst via RequestStop) is retired first: rewinding unconsumed
+// reservations is bit-equivalent to never having pre-booked them, so the
+// donor continues identically — it just books the rest of the burst
+// per-uop — and the captured tables match a never-grouped run.
 func (c *Core) Snapshot() *State {
+	if c.grpActive {
+		c.endBurstGroups()
+	}
 	st := &State{
 		regs:      c.Regs,
 		protPages: c.Prot.Pages(),
@@ -312,6 +360,7 @@ func (c *Core) Restore(st *State) {
 	c.stopReq = st.stopReq
 
 	c.fetchCursor = st.fetchCursor
+	c.grpActive = false // snapshots never carry a live issue group
 	c.fetchBook.restore(&st.fetchBook)
 	c.dispatchBook.restore(&st.dispatchBook)
 	c.commitBook.restore(&st.commitBook)

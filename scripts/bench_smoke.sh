@@ -35,17 +35,21 @@ go test -bench='BenchmarkCacheAccess$|BenchmarkHierarchyDataLatency$' \
 
 # Dispatch micros (informational, not gated): the steady-state uop
 # dispatch loop — fetch from the pre-resolved uop cache through exec and
-# the fused time/advance — plain and with a store-class DISE production
-# installed. Both must stay 0 allocs/op (TestDispatchAllocFree enforces
-# it; -benchmem shows it here).
+# the fused time/advance — plain, with a store-class DISE production
+# installed, and store-dominated (the store-queue push path). All must
+# stay 0 allocs/op (TestDispatchAllocFree enforces it; -benchmem shows
+# it here).
 echo "-- dispatch micros (informational) --"
 go test -bench='BenchmarkDispatch$' -benchmem \
     -run=NONE -benchtime=1s -count=1 ./internal/pipeline | grep -E 'Benchmark|^ok' || true
 
 # Timing-core micros (informational, not gated): the booking reservation
-# shapes (the stall-vault case is the event-edge scheduler's reason to
-# exist) and the Core.time hot loop, event-edge vs the retained linear
-# reference.
+# shapes — the eager edge cases (the stall-vault case is the event-edge
+# scheduler's reason to exist) plus the monotone-cursor chain/lockstep
+# and issue-group burst variants the dispatch loop actually runs — and
+# the Core.time hot loop, event-edge vs the retained linear reference.
+# BenchmarkBooking$ anchors per path element, so the monotone/* and
+# group/* sub-benchmarks are all included.
 echo "-- timing-core micros (informational) --"
 go test -bench='BenchmarkBooking$|BenchmarkTimeEdge$' \
     -run=NONE -benchtime=1s -count=1 ./internal/pipeline | grep -E 'Benchmark|^ok' || true
